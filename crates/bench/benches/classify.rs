@@ -1,0 +1,74 @@
+//! F1/B1 — tree-vs-cyclic classification across schema families.
+//!
+//! The paper's implicit claim: GYO reduction decides tree-ness cheaply.
+//! Series: classification time vs. schema size for chains, stars, rings,
+//! cliques, grids, and random tree schemas, comparing the incremental GYO
+//! engine, the naive fixpoint engine, and the max-weight-spanning-tree
+//! method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gyo_bench::bench_rng;
+use gyo_core::reduce::{gyo_reduce_naive, is_tree_schema};
+use gyo_core::schema::qual::maximum_weight_join_tree;
+use gyo_core::AttrSet;
+use gyo_workloads::{aclique_n, aring_n, chain, grid, random_tree_schema, star};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify/gyo");
+    for n in [10usize, 100, 1000] {
+        let mut rng = bench_rng();
+        let cases = [
+            ("chain", chain(n)),
+            ("star", star(n)),
+            ("aring", aring_n(n.max(3))),
+            ("aclique", aclique_n(n.clamp(3, 60))),
+            ("random_tree", random_tree_schema(&mut rng, n, 2 * n, 0.4)),
+        ];
+        for (name, d) in cases {
+            group.bench_with_input(BenchmarkId::new(name, n), &d, |b, d| {
+                b.iter(|| black_box(is_tree_schema(d)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify/engines");
+    for n in [8usize, 32, 128] {
+        let d = chain(n);
+        group.bench_with_input(BenchmarkId::new("incremental", n), &d, |b, d| {
+            b.iter(|| black_box(gyo_core::gyo_reduce(d, &AttrSet::empty()).is_total()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &d, |b, d| {
+            b.iter(|| black_box(gyo_reduce_naive(d, &AttrSet::empty()).is_total()))
+        });
+        group.bench_with_input(BenchmarkId::new("mst", n), &d, |b, d| {
+            b.iter(|| black_box(maximum_weight_join_tree(d).is_some()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify/grid");
+    for side in [3usize, 6, 12] {
+        let d = grid(side, side);
+        group.bench_with_input(BenchmarkId::from_parameter(side), &d, |b, d| {
+            b.iter(|| black_box(is_tree_schema(d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_families, bench_engines, bench_grids
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! T10/B4 — semijoin programs vs. monolithic joins on tree schemas.
+//!
+//! Expected shape (the §4 "tree case"): the full-reducer-then-join strategy
+//! wins when joins are selective (semijoins shrink states before any join
+//! blows up); the monolithic join catches up when everything matches
+//! (nothing to filter). The crossover moves with the value-domain size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gyo_bench::bench_rng;
+use gyo_core::prelude::*;
+use gyo_workloads::{chain, random_universal};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn target(d: &DbSchema) -> AttrSet {
+    let u: Vec<AttrId> = d.attributes().iter().collect();
+    AttrSet::from_iter([u[0], u[u.len() - 1]])
+}
+
+fn bench_selectivity_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("programs/selectivity");
+    let d = chain(8);
+    let x = target(&d);
+    // Small domains = dense joins (low selectivity); large domains =
+    // selective joins.
+    for domain in [600u64, 1200, 2400, 9600] {
+        let mut rng = bench_rng();
+        let i = random_universal(&mut rng, &d.attributes(), 600, domain);
+        let state = DbState::from_universal(&i, &d);
+        assert_eq!(
+            solve_tree_query(&d, &state, &x).unwrap(),
+            state.eval_join_query(&x),
+            "sanity"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("join_only", domain),
+            &state,
+            |b, state| b.iter(|| black_box(state.eval_join_query(&x).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("yannakakis", domain),
+            &state,
+            |b, state| {
+                b.iter(|| black_box(solve_tree_query(&d, state, &x).unwrap().len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("programs/size");
+    for n in [4usize, 8, 16] {
+        let d = chain(n);
+        let x = target(&d);
+        let mut rng = bench_rng();
+        let i = random_universal(&mut rng, &d.attributes(), 300, 3000);
+        let state = DbState::from_universal(&i, &d);
+        group.bench_with_input(BenchmarkId::new("join_only", n), &state, |b, state| {
+            b.iter(|| black_box(state.eval_join_query(&x).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("yannakakis", n), &state, |b, state| {
+            b.iter(|| black_box(solve_tree_query(&d, state, &x).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+/// The dangling-tuple catastrophe, parameterized by the per-attribute value
+/// count `m`: four dense m x m relations closed by a selective dead end.
+/// Monolithic join cost grows like m^5; the full reducer stays ~m^2.
+fn bench_dead_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("programs/dead_end");
+    for m in [4u64, 8, 12] {
+        let d = chain(5);
+        let x = target(&d);
+        let dense: Vec<Vec<u64>> = (0..m)
+            .flat_map(|a| (0..m).map(move |b| vec![a, b]))
+            .collect();
+        let mut rels: Vec<gyo_core::Relation> = (0..4)
+            .map(|k| gyo_core::Relation::new(d.rel(k).clone(), dense.clone()))
+            .collect();
+        rels.push(gyo_core::Relation::new(
+            d.rel(4).clone(),
+            (0..m).map(|y| vec![0, y]).collect(),
+        ));
+        let state = DbState::new(&d, rels);
+        group.bench_with_input(BenchmarkId::new("join_only", m), &state, |b, state| {
+            b.iter(|| black_box(state.eval_join_query(&x).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("yannakakis", m), &state, |b, state| {
+            b.iter(|| black_box(solve_tree_query(&d, state, &x).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_selectivity_sweep, bench_size_sweep, bench_dead_end
+}
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! β-acyclicity — the middle rung of Fagin's acyclicity ladder \[7\].
+//!
+//! The paper treats "some aspects of γ-acyclicity"; Fagin's hierarchy
+//! situates it:
+//!
+//! ```text
+//! γ-acyclic  ⟹  β-acyclic  ⟹  α-acyclic (tree schema)
+//! ```
+//!
+//! `D` is **β-acyclic** iff every sub-multiset of its relation schemas is
+//! α-acyclic (a tree schema). α-acyclicity is not hereditary — the §5.1
+//! example `(abc, ab, bc)` is a tree schema whose sub-schema `(ab, bc)`…
+//! is also a tree schema, but the triangle-with-roof `(abc, ab, bc, ac)`
+//! shows the failure: drop `abc` and the cyclic triangle remains. β fixes
+//! exactly that defect.
+//!
+//! This module implements the definition directly (exponential, guarded)
+//! plus the connectivity refinement: it suffices to check *connected*
+//! sub-multisets, because a schema is a tree schema iff each connected
+//! component is.
+
+use gyo_reduce::is_tree_schema;
+use gyo_schema::DbSchema;
+
+/// Whether `D` is β-acyclic: every (connected) sub-multiset of relation
+/// schemas is a tree schema. Returns the first cyclic subset as a witness
+/// via [`beta_violation`].
+///
+/// # Panics
+///
+/// Panics if `d.len() > 16` (the check is exponential in `|D|`).
+pub fn is_beta_acyclic(d: &DbSchema) -> bool {
+    beta_violation(d).is_none()
+}
+
+/// The first connected sub-multiset (as indices) that is a cyclic schema,
+/// or `None` when `D` is β-acyclic.
+///
+/// # Panics
+///
+/// Panics if `d.len() > 16`.
+pub fn beta_violation(d: &DbSchema) -> Option<Vec<usize>> {
+    let n = d.len();
+    assert!(n <= 16, "β-acyclicity check limited to ≤ 16 relations");
+    for mask in 1u32..(1 << n) {
+        let nodes: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+        if nodes.len() < 3 {
+            continue; // fewer than 3 relations are always tree schemas
+        }
+        let sub = d.project_rels(&nodes);
+        if !sub.is_connected() {
+            continue; // components are checked by their own masks
+        }
+        if !is_tree_schema(&sub) {
+            return Some(nodes);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairwise::is_gamma_acyclic;
+    use gyo_schema::Catalog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db(s: &str) -> DbSchema {
+        let mut cat = Catalog::alphabetic();
+        DbSchema::parse(s, &mut cat).unwrap()
+    }
+
+    #[test]
+    fn chains_are_beta_acyclic() {
+        assert!(is_beta_acyclic(&db("ab, bc, cd")));
+        assert!(is_beta_acyclic(&DbSchema::empty()));
+        assert!(is_beta_acyclic(&db("abc")));
+    }
+
+    #[test]
+    fn triangle_with_roof_is_alpha_but_not_beta() {
+        // (abc, ab, bc, ac): a tree schema (abc covers everything), but
+        // dropping abc leaves the cyclic triangle.
+        let d = db("abc, ab, bc, ac");
+        assert!(gyo_reduce::is_tree_schema(&d));
+        let violation = beta_violation(&d).expect("not β-acyclic");
+        assert_eq!(violation, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn section_5_1_example_is_beta_but_not_gamma() {
+        // (abc, ab, bc): every subset is a tree schema, yet it is
+        // γ-cyclic — separating β from γ.
+        let d = db("abc, ab, bc");
+        assert!(is_beta_acyclic(&d));
+        assert!(!is_gamma_acyclic(&d));
+    }
+
+    #[test]
+    fn cyclic_schemas_are_not_beta_acyclic() {
+        // A cyclic schema has a cyclic (sometimes proper) subset witness:
+        // the ring needs all 4 edges, the Aclique already breaks at 3 faces.
+        for (s, witness_size) in [
+            ("ab, bc, ac", 3),
+            ("ab, bc, cd, da", 4),
+            ("bcd, acd, abd, abc", 3),
+        ] {
+            let d = db(s);
+            let v = beta_violation(&d).expect("cyclic");
+            assert_eq!(v.len(), witness_size, "case {s}");
+            assert!(!gyo_reduce::is_tree_schema(&d.project_rels(&v)));
+        }
+    }
+
+    #[test]
+    fn hierarchy_gamma_implies_beta_implies_alpha() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..40 {
+            let d = gyo_workloads::random_schema(&mut rng, 4, 6, 3);
+            let alpha = gyo_reduce::is_tree_schema(&d);
+            let beta = is_beta_acyclic(&d);
+            let gamma = is_gamma_acyclic(&d);
+            assert!(!gamma || beta, "γ ⟹ β failed on {d:?}");
+            assert!(!beta || alpha, "β ⟹ α failed on {d:?}");
+        }
+    }
+
+    #[test]
+    fn beta_is_hereditary() {
+        // β-acyclicity is closed under taking sub-schemas (unlike α).
+        let mut rng = StdRng::seed_from_u64(72);
+        for _ in 0..20 {
+            let d = gyo_workloads::random_tree_schema(&mut rng, 4, 6, 0.5);
+            if !is_beta_acyclic(&d) {
+                continue;
+            }
+            let n = d.len();
+            for mask in 1u32..(1 << n) {
+                let nodes: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+                assert!(
+                    is_beta_acyclic(&d.project_rels(&nodes)),
+                    "sub-schema {nodes:?} of {d:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Weak γ-cycles: representation, constructive search, shortening and
+//! contraction (Theorem 5.3's proof devices, Figs. 4–6).
+
+use gyo_schema::{AttrId, AttrSet, DbSchema};
+
+use crate::pairwise::violating_pair;
+
+/// A weak γ-cycle `(R₁, A₁, R₂, A₂, …, Rₘ, Aₘ, R₁)` (§5.2):
+///
+/// * `m ≥ 3`;
+/// * the `Aᵢ` are distinct;
+/// * `Aᵢ ∈ Rᵢ ∩ Rᵢ₊₁` (indices mod `m`);
+/// * `A₁` appears only in `R₁` and `R₂`, and `A₂` only in `R₂` and `R₃`,
+///   among the relations *of the cycle* (the reading under which both
+///   directions of Theorem 5.3 (i)⇔(ii) go through).
+///
+/// `rels[i]` are relation-occurrence indices into the schema; `attrs[i]`
+/// joins `rels[i]` to `rels[(i+1) % m]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GammaCycle {
+    /// Relation indices `R₁ … Rₘ` (pairwise distinct occurrences).
+    pub rels: Vec<usize>,
+    /// Linking attributes `A₁ … Aₘ`.
+    pub attrs: Vec<AttrId>,
+}
+
+impl GammaCycle {
+    /// The cycle length `m`.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the cycle is empty (never true for verified cycles).
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Checks every condition of the weak-γ-cycle definition against `d`.
+    pub fn verify(&self, d: &DbSchema) -> bool {
+        let m = self.rels.len();
+        if m < 3 || self.attrs.len() != m {
+            return false;
+        }
+        // Distinct relation occurrences and distinct attributes.
+        let mut rset = self.rels.clone();
+        rset.sort_unstable();
+        rset.dedup();
+        if rset.len() != m {
+            return false;
+        }
+        let aset = AttrSet::from_iter(self.attrs.iter().copied());
+        if aset.len() != m {
+            return false;
+        }
+        // Adjacency memberships.
+        for i in 0..m {
+            let r = d.rel(self.rels[i]);
+            let r_next = d.rel(self.rels[(i + 1) % m]);
+            if !r.contains(self.attrs[i]) || !r_next.contains(self.attrs[i]) {
+                return false;
+            }
+        }
+        // Cycle-local "only in" for A₁ (positions 0,1) and A₂ (positions
+        // 1,2).
+        for (ai, allowed) in [(0usize, [0usize, 1]), (1, [1, 2])] {
+            let a = self.attrs[ai];
+            for (pos, &r) in self.rels.iter().enumerate() {
+                if !allowed.contains(&pos) && d.rel(r).contains(a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Constructive weak-γ-cycle search, implementing the Theorem 5.3 (i)⇒(ii)
+/// proof: find a pair violating characterization (ii), connect the residues
+/// by a shortest path in the deleted schema (shortest ⟹ already shortened
+/// in the Fig. 4 sense), and close the cycle through the deleted
+/// intersection. Returns `None` iff `d` is γ-acyclic; returned cycles
+/// always [`verify`](GammaCycle::verify).
+pub fn find_weak_gamma_cycle(d: &DbSchema) -> Option<GammaCycle> {
+    let (i, j) = violating_pair(d)?;
+    let x = d.rel(i).intersect(d.rel(j));
+    let deleted = d.delete_attrs(&x);
+    let path = shortest_path(&deleted, i, j).expect("violating pair residues are connected");
+    debug_assert_eq!(path, shorten_path(&deleted, &path));
+    debug_assert!(path.len() >= 3, "residues cannot intersect directly");
+    let m = path.len();
+    let mut attrs = Vec::with_capacity(m);
+    for w in path.windows(2) {
+        let shared = deleted.rel(w[0]).intersect(deleted.rel(w[1]));
+        attrs.push(shared.iter().next().expect("path edges share an attribute"));
+    }
+    // Close the cycle through the deleted intersection X = Rᵢ ∩ Rⱼ.
+    attrs.push(x.iter().next().expect("violating pair intersects"));
+    let cycle = GammaCycle { rels: path, attrs };
+    debug_assert!(cycle.verify(d), "constructed cycle must verify: {cycle:?}");
+    Some(cycle)
+}
+
+/// BFS shortest path between nodes of the intersection graph of `d`
+/// (adjacency = sharing an attribute). Returns the node sequence from
+/// `from` to `to` inclusive.
+#[allow(clippy::needless_range_loop)]
+fn shortest_path(d: &DbSchema, from: usize, to: usize) -> Option<Vec<usize>> {
+    let n = d.len();
+    let mut prev = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    prev[from] = from;
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            let mut path = vec![to];
+            let mut w = to;
+            while w != from {
+                w = prev[w];
+                path.push(w);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for u in 0..n {
+            if prev[u] == usize::MAX && !d.rel(v).is_disjoint(d.rel(u)) && !d.rel(v).is_empty() {
+                prev[u] = v;
+                queue.push_back(u);
+            }
+        }
+    }
+    None
+}
+
+/// Fig. 4's path shortening: while two non-consecutive path relations
+/// intersect (in `d`), splice out the segment between them. Idempotent on
+/// BFS-shortest paths.
+pub fn shorten_path(d: &DbSchema, path: &[usize]) -> Vec<usize> {
+    let mut p: Vec<usize> = path.to_vec();
+    'outer: loop {
+        for u in 0..p.len() {
+            for v in (u + 2)..p.len() {
+                if !d.rel(p[u]).is_disjoint(d.rel(p[v])) && !d.rel(p[u]).is_empty() {
+                    p.drain(u + 1..v);
+                    continue 'outer;
+                }
+            }
+        }
+        return p;
+    }
+}
+
+/// Fig. 5's cycle contraction: while positions `i < j` exist with
+/// `Rᵢ ∩ Rᵢ₊₁ ⊆ Rⱼ ∩ Rⱼ₊₁`, replace the cycle by
+/// `(R₁, A₁, …, Rᵢ, Aᵢ, Rⱼ₊₁, …, Rₘ, Aₘ, R₁)` — the jump is legal because
+/// `Aᵢ ∈ Rᵢ ∩ Rᵢ₊₁ ⊆ Rⱼ₊₁`. A contraction is applied only when the result
+/// still verifies (keeping the `A₁`/`A₂` conditions intact).
+pub fn contract_cycle(d: &DbSchema, cycle: &GammaCycle) -> GammaCycle {
+    let mut c = cycle.clone();
+    'outer: loop {
+        let m = c.len();
+        if m <= 3 {
+            return c;
+        }
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let int_i = d.rel(c.rels[i]).intersect(d.rel(c.rels[(i + 1) % m]));
+                let int_j = d.rel(c.rels[j]).intersect(d.rel(c.rels[(j + 1) % m]));
+                if !int_i.is_subset(&int_j) {
+                    continue;
+                }
+                // Keep positions 0..=i, then jump to j+1..m.
+                if (j + 1) % m == i {
+                    continue; // would not remove anything
+                }
+                let mut rels: Vec<usize> = c.rels[..=i].to_vec();
+                rels.extend_from_slice(&c.rels[j + 1..]);
+                let mut attrs: Vec<AttrId> = c.attrs[..=i].to_vec();
+                attrs.extend_from_slice(&c.attrs[j + 1..]);
+                let candidate = GammaCycle { rels, attrs };
+                if candidate.len() >= 3 && candidate.verify(d) {
+                    c = candidate;
+                    continue 'outer;
+                }
+            }
+        }
+        return c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairwise::is_gamma_acyclic;
+    use gyo_schema::Catalog;
+
+    fn db(s: &str) -> (DbSchema, Catalog) {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse(s, &mut cat).unwrap();
+        (d, cat)
+    }
+
+    #[test]
+    fn no_cycle_in_gamma_acyclic_schemas() {
+        for s in ["ab, bc, cd", "a, ab, abc", "ab, ac, ad", "ab, cd"] {
+            let (d, _) = db(s);
+            assert!(find_weak_gamma_cycle(&d).is_none(), "case {s}");
+        }
+    }
+
+    #[test]
+    fn cycle_found_in_triangle() {
+        let (d, _) = db("ab, bc, ac");
+        let c = find_weak_gamma_cycle(&d).expect("triangle has a γ-cycle");
+        assert!(c.verify(&d));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn cycle_found_in_tree_but_gamma_cyclic_schema() {
+        // §5.1's (abc, ab, bc): α-acyclic yet γ-cyclic.
+        let (d, _) = db("abc, ab, bc");
+        let c = find_weak_gamma_cycle(&d).expect("γ-cyclic");
+        assert!(c.verify(&d));
+    }
+
+    #[test]
+    fn finder_agrees_with_pairwise_test() {
+        for s in [
+            "ab, bc, cd",
+            "abc, ab, bc",
+            "ab, bc, ac",
+            "ab, bc, cd, da",
+            "bcd, acd, abd, abc",
+            "abc, cde, ace, afe",
+            "ab, bc, cd, cda",
+            "abq, bqc, cd, da",
+        ] {
+            let (d, _) = db(s);
+            assert_eq!(
+                find_weak_gamma_cycle(&d).is_none(),
+                is_gamma_acyclic(&d),
+                "case {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_rejects_malformed_cycles() {
+        let (d, _) = db("ab, bc, ac");
+        // too short
+        assert!(!GammaCycle {
+            rels: vec![0, 1],
+            attrs: vec![AttrId(1), AttrId(0)],
+        }
+        .verify(&d));
+        // repeated attribute
+        assert!(!GammaCycle {
+            rels: vec![0, 1, 2],
+            attrs: vec![AttrId(1), AttrId(1), AttrId(0)],
+        }
+        .verify(&d));
+        // wrong adjacency (a ∉ bc)
+        assert!(!GammaCycle {
+            rels: vec![0, 1, 2],
+            attrs: vec![AttrId(0), AttrId(2), AttrId(1)],
+        }
+        .verify(&d));
+    }
+
+    #[test]
+    fn fig4_shortening_removes_chords() {
+        // Path p0-p1-p2-p3 where p0 and p2 intersect: shorten to p0-p2-p3.
+        let (d, _) = db("ab, bc, acd, de");
+        let p = shorten_path(&d, &[0, 1, 2, 3]);
+        assert_eq!(p, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn fig5_contraction_shrinks_redundant_cycle() {
+        // D = (acd, ab, bc, cd): the 4-cycle (acd, a, ab, b, bc, c, cd, d)
+        // contracts to the triangle (acd, a, ab, b, bc, c) because
+        // R₃∩R₄ = {c} ⊆ R₄∩R₁ = {c, d}.
+        let (d, _) = db("acd, ab, bc, cd");
+        let cycle = GammaCycle {
+            rels: vec![0, 1, 2, 3],
+            attrs: vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3)],
+        };
+        assert!(cycle.verify(&d), "the hand-built 4-cycle must verify");
+        let contracted = contract_cycle(&d, &cycle);
+        assert!(contracted.verify(&d));
+        assert_eq!(contracted.len(), 3);
+        assert_eq!(contracted.rels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn contraction_is_identity_on_tight_rings() {
+        let (d, _) = db("ab, bc, cd, de, ea");
+        let c = find_weak_gamma_cycle(&d).expect("5-ring");
+        let contracted = contract_cycle(&d, &c);
+        assert_eq!(contracted.len(), c.len(), "5-ring cycles are tight");
+    }
+}

@@ -1,0 +1,145 @@
+//! The acyclicity ladder: one call classifying a schema on Fagin's
+//! hierarchy, with witnesses.
+//!
+//! ```text
+//! γ-acyclic ⊂ β-acyclic ⊂ α-acyclic (tree schema) ⊂ all schemas
+//! ```
+//!
+//! Each level comes with the guarantee the paper associates with it:
+//!
+//! * **α** — semijoin processing works: full reducers exist, the whole
+//!   join is lossless (§4);
+//! * **β** — α survives taking *any* sub-database;
+//! * **γ** — every *connected* sub-database has a lossless join
+//!   (Corollary 5.3 / Fagin's (*)).
+
+use gyo_reduce::{find_cyclic_core, is_tree_schema, CoreWitness};
+use gyo_schema::DbSchema;
+
+use crate::beta::beta_violation;
+use crate::cycles::{find_weak_gamma_cycle, GammaCycle};
+use crate::pairwise::is_gamma_acyclic;
+
+/// Where a schema sits on the acyclicity ladder (most restrictive level it
+/// satisfies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AcyclicityLevel {
+    /// Cyclic: not even a tree schema.
+    Cyclic,
+    /// α-acyclic (a tree schema) but not β-acyclic.
+    Alpha,
+    /// β-acyclic but not γ-acyclic.
+    Beta,
+    /// γ-acyclic.
+    Gamma,
+}
+
+/// The classification plus the witness refuting the next level up (if any).
+#[derive(Clone, Debug)]
+pub struct AcyclicityReport {
+    /// The most restrictive level `D` satisfies.
+    pub level: AcyclicityLevel,
+    /// For `Cyclic`: the Lemma 3.1 core witness.
+    pub cyclic_core: Option<CoreWitness>,
+    /// For `Alpha`: the cyclic sub-multiset refuting β.
+    pub beta_witness: Option<Vec<usize>>,
+    /// For `Alpha`/`Beta`: a weak γ-cycle refuting γ.
+    pub gamma_witness: Option<GammaCycle>,
+}
+
+/// Classifies `d` on the ladder and collects refutation witnesses.
+///
+/// # Panics
+///
+/// Panics if `d.len() > 16` (the β check is exponential) or if the GYO
+/// residue exceeds the Lemma 3.1 search bound (see
+/// [`find_cyclic_core`]).
+pub fn acyclicity_report(d: &DbSchema) -> AcyclicityReport {
+    if !is_tree_schema(d) {
+        return AcyclicityReport {
+            level: AcyclicityLevel::Cyclic,
+            cyclic_core: find_cyclic_core(d),
+            beta_witness: None,
+            gamma_witness: None,
+        };
+    }
+    let beta_witness = beta_violation(d);
+    let gamma_witness = find_weak_gamma_cycle(d);
+    let level = if beta_witness.is_some() {
+        AcyclicityLevel::Alpha
+    } else if gamma_witness.is_some() {
+        AcyclicityLevel::Beta
+    } else {
+        AcyclicityLevel::Gamma
+    };
+    debug_assert_eq!(gamma_witness.is_none(), is_gamma_acyclic(d));
+    AcyclicityReport {
+        level,
+        cyclic_core: None,
+        beta_witness,
+        gamma_witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_schema::Catalog;
+
+    fn db(s: &str) -> DbSchema {
+        let mut cat = Catalog::alphabetic();
+        DbSchema::parse(s, &mut cat).unwrap()
+    }
+
+    #[test]
+    fn ladder_examples_one_per_level() {
+        // γ: the chain.
+        let r = acyclicity_report(&db("ab, bc, cd"));
+        assert_eq!(r.level, AcyclicityLevel::Gamma);
+        assert!(r.gamma_witness.is_none() && r.beta_witness.is_none());
+
+        // β but not γ: the §5.1 example.
+        let r = acyclicity_report(&db("abc, ab, bc"));
+        assert_eq!(r.level, AcyclicityLevel::Beta);
+        assert!(r.gamma_witness.is_some());
+
+        // α but not β: the triangle with a roof.
+        let r = acyclicity_report(&db("abc, ab, bc, ac"));
+        assert_eq!(r.level, AcyclicityLevel::Alpha);
+        assert_eq!(r.beta_witness, Some(vec![1, 2, 3]));
+
+        // cyclic: the ring, with its Lemma 3.1 core.
+        let r = acyclicity_report(&db("ab, bc, cd, da"));
+        assert_eq!(r.level, AcyclicityLevel::Cyclic);
+        assert!(r.cyclic_core.is_some());
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(AcyclicityLevel::Cyclic < AcyclicityLevel::Alpha);
+        assert!(AcyclicityLevel::Alpha < AcyclicityLevel::Beta);
+        assert!(AcyclicityLevel::Beta < AcyclicityLevel::Gamma);
+    }
+
+    #[test]
+    fn degenerate_schemas_are_gamma() {
+        assert_eq!(acyclicity_report(&DbSchema::empty()).level, AcyclicityLevel::Gamma);
+        assert_eq!(acyclicity_report(&db("abc")).level, AcyclicityLevel::Gamma);
+        assert_eq!(acyclicity_report(&db("ab, ab")).level, AcyclicityLevel::Gamma);
+    }
+
+    #[test]
+    fn witnesses_verify() {
+        let d = db("abc, ab, bc");
+        let r = acyclicity_report(&d);
+        assert!(r.gamma_witness.unwrap().verify(&d));
+
+        let ring = db("ab, bc, cd, da");
+        let r = acyclicity_report(&ring);
+        let core = r.cyclic_core.unwrap();
+        assert!(gyo_reduce::cores::classify_core(
+            &ring.delete_attrs(&core.deleted).reduce()
+        )
+        .is_some());
+    }
+}

@@ -1,0 +1,31 @@
+//! γ-acyclicity (§5.2 of the paper).
+//!
+//! Fagin characterized the schemas `D` for which `⋈D ⊨ ⋈D'` holds for
+//! *every* connected `D' ⊆ D`: exactly the **γ-acyclic** schemas — those
+//! without *weak γ-cycles*. Theorem 5.3 of the paper gives two further
+//! characterizations, proved by qual-graph techniques; this crate implements
+//! all three and the test suite verifies their equivalence:
+//!
+//! 1. **(i)** `D` has no weak γ-cycle — [`find_weak_gamma_cycle`] searches
+//!    constructively, following the Theorem 5.3 (i)⇒(ii) proof (find a
+//!    violating pair, take the connecting path, shorten it per Fig. 4, and
+//!    close the cycle);
+//! 2. **(ii)** for every pair `R₁, R₂ ∈ D` with `R₁ ∩ R₂ ≠ ∅`, deleting
+//!    `R₁ ∩ R₂` from every relation schema disconnects `R₁ − (R₁∩R₂)` from
+//!    `R₂ − (R₁∩R₂)` — [`is_gamma_acyclic`], the polynomial decision
+//!    procedure;
+//! 3. **(iii)** `D` is a tree schema and every connected `D' ⊆ D` is a
+//!    subtree of `D` — [`is_gamma_acyclic_via_subtrees`], exponential,
+//!    retained as a cross-validation oracle.
+
+#![warn(missing_docs)]
+
+pub mod beta;
+pub mod cycles;
+pub mod ladder;
+pub mod pairwise;
+
+pub use beta::{beta_violation, is_beta_acyclic};
+pub use cycles::{find_weak_gamma_cycle, GammaCycle};
+pub use ladder::{acyclicity_report, AcyclicityLevel, AcyclicityReport};
+pub use pairwise::{is_gamma_acyclic, is_gamma_acyclic_via_subtrees, violating_pair};

@@ -1,0 +1,366 @@
+//! Arings, Acliques, and the Lemma 3.1 cyclic-core witness search.
+//!
+//! §3.1 of the paper: for `U = {A₁,…,Aₙ}`, `n > 2`,
+//!
+//! * the **Aring** of size `n` is `({A₁,A₂}, {A₂,A₃}, …, {Aₙ₋₁,Aₙ}, {Aₙ,A₁})`;
+//! * the **Aclique** of size `n` is `(U−{A₁}, U−{A₂}, …, U−{Aₙ})`.
+//!
+//! **Lemma 3.1** (Goodman & Shmueli \[12\]): `D` is cyclic iff there exists
+//! `X ⊆ U(D)` such that eliminating subset and duplicate relation schemas
+//! from `(R − X | R ∈ D)` results in an Aring or an Aclique. Arings and
+//! Acliques are thus the "building blocks" of cyclic schemas (Fig. 2).
+
+use gyo_schema::{AttrId, AttrSet, DbSchema, FxHashMap};
+
+use crate::reduce::{gr, is_tree_schema};
+
+/// Which cyclic core a schema is (up to attribute ordering).
+///
+/// The size-3 Aring and size-3 Aclique are the *same* schema (the triangle
+/// `(ab, bc, ca)`); [`classify_core`] reports it as `Aring(3)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// An Aring of the given size (≥ 3).
+    Aring(usize),
+    /// An Aclique of the given size (≥ 3).
+    Aclique(usize),
+}
+
+/// A Lemma 3.1 witness: deleting `deleted` from every relation schema of the
+/// original `D` and then eliminating subsets/duplicates yields `core`.
+#[derive(Clone, Debug)]
+pub struct CoreWitness {
+    /// The attribute set `X` deleted uniformly from `D`.
+    pub deleted: AttrSet,
+    /// The resulting Aring or Aclique.
+    pub core: DbSchema,
+    /// Which core it is.
+    pub kind: CoreKind,
+}
+
+/// Builds the Aring of size `attrs.len()` over the given attributes.
+///
+/// # Panics
+///
+/// Panics if fewer than 3 distinct attributes are supplied.
+pub fn aring(attrs: &[AttrId]) -> DbSchema {
+    let n = attrs.len();
+    assert!(n >= 3, "an Aring needs at least 3 attributes");
+    let distinct: std::collections::BTreeSet<_> = attrs.iter().collect();
+    assert_eq!(distinct.len(), n, "Aring attributes must be distinct");
+    DbSchema::new(
+        (0..n)
+            .map(|i| AttrSet::from_iter([attrs[i], attrs[(i + 1) % n]]))
+            .collect(),
+    )
+}
+
+/// Builds the Aclique of size `attrs.len()` over the given attributes.
+///
+/// # Panics
+///
+/// Panics if fewer than 3 distinct attributes are supplied.
+pub fn aclique(attrs: &[AttrId]) -> DbSchema {
+    let n = attrs.len();
+    assert!(n >= 3, "an Aclique needs at least 3 attributes");
+    let u = AttrSet::from_iter(attrs.iter().copied());
+    assert_eq!(u.len(), n, "Aclique attributes must be distinct");
+    DbSchema::new(
+        attrs
+            .iter()
+            .map(|&a| {
+                let mut r = u.clone();
+                r.remove(a);
+                r
+            })
+            .collect(),
+    )
+}
+
+/// Recognizes Arings structurally (any schema isomorphic to an Aring):
+/// `n ≥ 3` binary relation schemas over exactly `n` attributes, every
+/// attribute in exactly two schemas, forming a single cycle.
+pub fn is_aring(d: &DbSchema) -> bool {
+    let n = d.len();
+    if n < 3 {
+        return false;
+    }
+    let u = d.attributes();
+    if u.len() != n {
+        return false;
+    }
+    let mut occurrences: FxHashMap<AttrId, usize> = FxHashMap::default();
+    for r in d.iter() {
+        if r.len() != 2 {
+            return false;
+        }
+        for a in r.iter() {
+            *occurrences.entry(a).or_insert(0) += 1;
+        }
+    }
+    if occurrences.values().any(|&c| c != 2) {
+        return false;
+    }
+    // n binary edges, every vertex of degree 2, single component ⟹ one
+    // cycle through all n vertices.
+    d.is_connected()
+}
+
+/// Recognizes Acliques structurally: `n ≥ 3` *distinct* relation schemas
+/// over exactly `n` attributes, each schema of size `n − 1` (hence each
+/// omits a distinct attribute).
+pub fn is_aclique(d: &DbSchema) -> bool {
+    let n = d.len();
+    if n < 3 {
+        return false;
+    }
+    let u = d.attributes();
+    if u.len() != n {
+        return false;
+    }
+    if d.iter().any(|r| r.len() != n - 1) {
+        return false;
+    }
+    // All schemas distinct ⟹ each omits a different attribute.
+    let mut seen: Vec<&AttrSet> = d.iter().collect();
+    seen.sort();
+    seen.windows(2).all(|w| w[0] != w[1])
+}
+
+/// Classifies `d` as an Aring or Aclique, if it is one. The triangle (size
+/// 3, where the two notions coincide) is reported as `Aring(3)`.
+pub fn classify_core(d: &DbSchema) -> Option<CoreKind> {
+    if is_aring(d) {
+        Some(CoreKind::Aring(d.len()))
+    } else if is_aclique(d) {
+        Some(CoreKind::Aclique(d.len()))
+    } else {
+        None
+    }
+}
+
+/// Lemma 3.1 witness search: finds `X ⊆ U(D)` such that deleting `X` from
+/// every relation schema and eliminating subsets/duplicates yields an Aring
+/// or Aclique. Returns `None` iff `D` is a tree schema.
+///
+/// The search first shrinks `D` to its GYO residue `G = GR(D, ∅)` — any
+/// witness for `G` extends to one for `D` by also deleting `U(D) − U(G)` —
+/// and then enumerates subsets of `U(G)` in ascending cardinality, so the
+/// returned witness deletes as few *residue* attributes as possible.
+///
+/// # Panics
+///
+/// Panics if the residue has more than `MAX_RESIDUE_ATTRS` (24) attributes;
+/// the enumeration is exponential and the caller should shrink the input.
+pub fn find_cyclic_core(d: &DbSchema) -> Option<CoreWitness> {
+    const MAX_RESIDUE_ATTRS: usize = 24;
+    if is_tree_schema(d) {
+        return None;
+    }
+    let g = gr(d, &AttrSet::empty());
+    let u_d = d.attributes();
+    let u_g = g.attributes();
+    let base_deleted = u_d.difference(&u_g);
+    let pool: Vec<AttrId> = u_g.iter().collect();
+    assert!(
+        pool.len() <= MAX_RESIDUE_ATTRS,
+        "cyclic-core search limited to residues with ≤ {MAX_RESIDUE_ATTRS} attributes \
+         (got {})",
+        pool.len()
+    );
+    for k in 0..=pool.len() {
+        let mut found = None;
+        for_each_combination(&pool, k, &mut |subset| {
+            let x = AttrSet::from_iter(subset.iter().copied());
+            let candidate = g.delete_attrs(&x).reduce();
+            if let Some(kind) = classify_core(&candidate) {
+                found = Some(CoreWitness {
+                    deleted: base_deleted.union(&x),
+                    core: candidate,
+                    kind,
+                });
+                return true;
+            }
+            false
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    unreachable!("Lemma 3.1: every cyclic schema has an Aring/Aclique witness")
+}
+
+/// Calls `f` with every `k`-combination of `pool`; stops early when `f`
+/// returns `true`.
+fn for_each_combination(pool: &[AttrId], k: usize, f: &mut dyn FnMut(&[AttrId]) -> bool) -> bool {
+    fn rec(
+        pool: &[AttrId],
+        k: usize,
+        start: usize,
+        acc: &mut Vec<AttrId>,
+        f: &mut dyn FnMut(&[AttrId]) -> bool,
+    ) -> bool {
+        if acc.len() == k {
+            return f(acc);
+        }
+        let remaining = k - acc.len();
+        for i in start..=pool.len().saturating_sub(remaining) {
+            acc.push(pool[i]);
+            if rec(pool, k, i + 1, acc, f) {
+                acc.pop();
+                return true;
+            }
+            acc.pop();
+        }
+        false
+    }
+    rec(pool, k, 0, &mut Vec::with_capacity(k), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::classify;
+    use crate::reduce::SchemaKind;
+    use gyo_schema::Catalog;
+
+    fn db(s: &str) -> (DbSchema, Catalog) {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse(s, &mut cat).unwrap();
+        (d, cat)
+    }
+
+    fn ids(n: u32) -> Vec<AttrId> {
+        (0..n).map(AttrId).collect()
+    }
+
+    #[test]
+    fn fig2a_aring_of_size_4() {
+        let (d, _) = db("ab, bc, cd, da");
+        assert!(is_aring(&d));
+        assert!(!is_aclique(&d));
+        assert_eq!(classify_core(&d), Some(CoreKind::Aring(4)));
+        assert_eq!(aring(&ids(4)), DbSchema::parse("ab, bc, cd, da", &mut Catalog::alphabetic()).unwrap());
+    }
+
+    #[test]
+    fn fig2b_aclique_of_size_4() {
+        let (d, _) = db("bcd, acd, abd, abc");
+        assert!(is_aclique(&d));
+        assert!(!is_aring(&d));
+        assert_eq!(classify_core(&d), Some(CoreKind::Aclique(4)));
+        assert_eq!(
+            aclique(&ids(4)),
+            DbSchema::parse("bcd, acd, abd, abc", &mut Catalog::alphabetic()).unwrap()
+        );
+    }
+
+    #[test]
+    fn triangle_is_both_ring_and_clique() {
+        let (d, _) = db("ab, bc, ac");
+        assert!(is_aring(&d));
+        assert!(is_aclique(&d));
+        assert_eq!(classify_core(&d), Some(CoreKind::Aring(3)));
+    }
+
+    #[test]
+    fn generated_cores_are_cyclic() {
+        for n in 3..8 {
+            assert_eq!(classify(&aring(&ids(n))), SchemaKind::Cyclic, "Aring {n}");
+            assert_eq!(classify(&aclique(&ids(n))), SchemaKind::Cyclic, "Aclique {n}");
+        }
+    }
+
+    #[test]
+    fn recognizers_reject_near_misses() {
+        // A broken ring (chain) is not an Aring.
+        assert!(!is_aring(&db("ab, bc, cd").0));
+        // Two disjoint triangles: 6 rels, 6 attrs, degrees right, but not
+        // connected.
+        let (d, _) = db("ab, bc, ca, de, ef, fd");
+        assert!(!is_aring(&d));
+        // An Aclique with a duplicated face is not an Aclique.
+        assert!(!is_aclique(&db("bcd, bcd, abd, abc").0));
+        // Wrong arity.
+        assert!(!is_aclique(&db("ab, cd, ac").0));
+        // The empty and tiny schemas.
+        assert!(classify_core(&DbSchema::empty()).is_none());
+        assert!(classify_core(&db("ab, ba").0).is_none());
+    }
+
+    #[test]
+    fn witness_for_a_core_is_trivial() {
+        let (d, _) = db("ab, bc, cd, da");
+        let w = find_cyclic_core(&d).expect("cyclic");
+        assert!(w.deleted.is_empty());
+        assert_eq!(w.kind, CoreKind::Aring(4));
+        assert_eq!(w.core, d);
+    }
+
+    #[test]
+    fn witness_for_tree_schema_is_none() {
+        assert!(find_cyclic_core(&db("ab, bc, cd").0).is_none());
+        assert!(find_cyclic_core(&DbSchema::empty()).is_none());
+    }
+
+    #[test]
+    fn fig2c_style_schema_has_both_ring_and_clique_witnesses() {
+        // A schema in the spirit of Fig. 2c: deleting abg reveals an Aring
+        // on cdef, deleting efg reveals the Aclique on abcd.
+        let (d, mut cat) = db("abce, bef, dif, cda, dab, bcd, cg");
+        assert_eq!(classify(&d), SchemaKind::Cyclic);
+
+        // Direct check of the two hand-picked witnesses.
+        let x_ring = AttrSet::parse("abgi", &mut cat).unwrap();
+        let ring = d.delete_attrs(&x_ring).reduce();
+        assert_eq!(classify_core(&ring), Some(CoreKind::Aring(4)), "{ring:?}");
+
+        let x_clique = AttrSet::parse("efgi", &mut cat).unwrap();
+        let clique = d.delete_attrs(&x_clique).reduce();
+        assert_eq!(classify_core(&clique), Some(CoreKind::Aclique(4)), "{clique:?}");
+
+        // And the search finds some witness on its own.
+        let w = find_cyclic_core(&d).expect("cyclic");
+        let check = d.delete_attrs(&w.deleted).reduce();
+        assert_eq!(classify_core(&check), Some(w.kind));
+    }
+
+    #[test]
+    fn witness_deletion_verifies_on_original_schema() {
+        // Lemma 3.1 (⇐): the witness applies to D itself, not just GR(D).
+        let (d, _) = db("abc, bcd, cde, dea, eab");
+        let w = find_cyclic_core(&d).expect("5-cycle of triples is cyclic");
+        let candidate = d.delete_attrs(&w.deleted).reduce();
+        assert_eq!(classify_core(&candidate), Some(w.kind));
+        assert_eq!(candidate, w.core);
+    }
+
+    #[test]
+    fn recognizers_agree_with_general_isomorphism() {
+        use gyo_schema::are_isomorphic;
+        // is_aring(d) ⟺ d ≅ aring(n); same for Acliques.
+        let (ring_renamed, _) = db("xy, yz, zw, wx");
+        assert!(is_aring(&ring_renamed));
+        assert!(are_isomorphic(&ring_renamed, &aring(&ids(4))));
+
+        let (clique_renamed, _) = db("xyz, xyw, xzw, yzw");
+        assert!(is_aclique(&clique_renamed));
+        assert!(are_isomorphic(&clique_renamed, &aclique(&ids(4))));
+
+        // negative: a chain is isomorphic to neither
+        let (chain, _) = db("ab, bc, cd");
+        assert!(!are_isomorphic(&chain, &aring(&ids(3))));
+    }
+
+    #[test]
+    fn combination_enumeration_visits_all_subsets() {
+        let pool = ids(5);
+        let mut count = 0;
+        for_each_combination(&pool, 3, &mut |c| {
+            assert_eq!(c.len(), 3);
+            count += 1;
+            false
+        });
+        assert_eq!(count, 10);
+    }
+}

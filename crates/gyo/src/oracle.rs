@@ -1,0 +1,187 @@
+//! Brute-force deciders used to cross-validate the polynomial algorithms.
+//!
+//! Everything here enumerates **all labeled trees** on `n` nodes via Prüfer
+//! sequences (`n^(n-2)` of them), so callers must keep `n` small (the
+//! functions assert `n ≤ 8`). These oracles define ground truth for:
+//!
+//! * tree-schema-ness (some qual graph is a tree);
+//! * the subtree relation of Theorem 3.1 (some qual tree in which a node
+//!   set induces a connected subgraph);
+//! * γ-acyclicity characterization (iii) of Theorem 5.3, used by the
+//!   `gyo-gamma` crate's tests.
+
+use gyo_schema::{DbSchema, JoinTree, QualGraph};
+
+/// Decodes a Prüfer sequence into the edge list of a labeled tree on
+/// `seq.len() + 2` nodes.
+fn pruefer_decode(seq: &[usize], n: usize) -> Vec<(usize, usize)> {
+    debug_assert_eq!(seq.len() + 2, n);
+    let mut degree = vec![1usize; n];
+    for &s in seq {
+        degree[s] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // Standard decoding: repeatedly attach the smallest leaf.
+    let mut leaf_heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &s in seq {
+        let std::cmp::Reverse(leaf) = leaf_heap.pop().expect("a tree always has a leaf");
+        edges.push((leaf, s));
+        degree[s] -= 1;
+        if degree[s] == 1 {
+            leaf_heap.push(std::cmp::Reverse(s));
+        }
+    }
+    let std::cmp::Reverse(u) = leaf_heap.pop().expect("two nodes remain");
+    let std::cmp::Reverse(v) = leaf_heap.pop().expect("two nodes remain");
+    edges.push((u, v));
+    edges
+}
+
+/// Calls `f` with every labeled tree on `n` nodes (as an edge list); stops
+/// early when `f` returns `true` and returns whether any call did.
+///
+/// # Panics
+///
+/// Panics if `n > 8` (8^6 = 262 144 trees is the sanity limit).
+pub fn any_labeled_tree(n: usize, mut f: impl FnMut(&[(usize, usize)]) -> bool) -> bool {
+    assert!(n <= 8, "brute-force tree enumeration limited to n ≤ 8");
+    match n {
+        0 | 1 => f(&[]),
+        2 => f(&[(0, 1)]),
+        _ => {
+            let mut seq = vec![0usize; n - 2];
+            loop {
+                if f(&pruefer_decode(&seq, n)) {
+                    return true;
+                }
+                // odometer increment over base-n digits
+                let mut i = 0;
+                loop {
+                    if i == seq.len() {
+                        return false;
+                    }
+                    seq[i] += 1;
+                    if seq[i] < n {
+                        break;
+                    }
+                    seq[i] = 0;
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Ground truth for tree-schema-ness: does *some* labeled tree on `d.len()`
+/// nodes validate as a qual graph for `d`?
+pub fn is_tree_schema_bruteforce(d: &DbSchema) -> bool {
+    let n = d.len();
+    if n == 0 {
+        return true;
+    }
+    any_labeled_tree(n, |edges| {
+        QualGraph::new(n, edges.iter().copied()).is_valid_for(d)
+    })
+}
+
+/// Ground truth for Theorem 3.1's subtree relation: does some qual tree for
+/// `d` exist in which `nodes` induce a connected subgraph?
+pub fn is_subtree_bruteforce(d: &DbSchema, nodes: &[usize]) -> bool {
+    let n = d.len();
+    if n == 0 {
+        return nodes.is_empty();
+    }
+    any_labeled_tree(n, |edges| {
+        let g = QualGraph::new(n, edges.iter().copied());
+        match JoinTree::try_new(g, d) {
+            Some(t) => t.induces_connected(nodes),
+            None => false,
+        }
+    })
+}
+
+/// Collects every qual tree for `d` (small `d` only).
+pub fn all_qual_trees(d: &DbSchema) -> Vec<JoinTree> {
+    let n = d.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    any_labeled_tree(n, |edges| {
+        let g = QualGraph::new(n, edges.iter().copied());
+        if let Some(t) = JoinTree::try_new(g, d) {
+            out.push(t);
+        }
+        false
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::is_tree_schema;
+    use gyo_schema::Catalog;
+
+    fn db(s: &str) -> DbSchema {
+        let mut cat = Catalog::alphabetic();
+        DbSchema::parse(s, &mut cat).unwrap()
+    }
+
+    #[test]
+    fn tree_counts_match_cayley() {
+        // All 3 labeled trees on 3 nodes, 16 on 4 nodes.
+        let mut count = 0;
+        any_labeled_tree(3, |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 3);
+        count = 0;
+        any_labeled_tree(4, |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn decoded_trees_are_trees() {
+        any_labeled_tree(5, |edges| {
+            let g = QualGraph::new(5, edges.iter().copied());
+            assert!(g.is_tree(), "Prüfer decode must give a tree: {edges:?}");
+            false
+        });
+    }
+
+    #[test]
+    fn bruteforce_agrees_with_gyo_classification() {
+        let cases = [
+            "ab, bc, cd",
+            "ab, bc, ac",
+            "abc, cde, ace, afe",
+            "ab, bc, cd, da",
+            "bcd, acd, abd, abc",
+            "ab, cd",
+            "abc, ab, bc",
+        ];
+        for s in cases {
+            let d = db(s);
+            assert_eq!(
+                is_tree_schema(&d),
+                is_tree_schema_bruteforce(&d),
+                "case {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_triangle_has_exactly_zero_qual_trees_and_chain_has_some() {
+        assert!(all_qual_trees(&db("ab, bc, ac")).is_empty());
+        let chains = all_qual_trees(&db("ab, bc, cd"));
+        assert_eq!(chains.len(), 1, "the chain's only qual tree is itself");
+    }
+}

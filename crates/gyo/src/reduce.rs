@@ -1,0 +1,575 @@
+//! The GYO reduction engine (§3.3).
+//!
+//! Given a database schema `D` and a *sacred* attribute set `X ⊆ U(D)`, the
+//! GYO reduction repeatedly applies two operations until neither applies:
+//!
+//! 1. **Isolated attribute deletion** — delete an attribute `A ∉ X` that
+//!    belongs to exactly one relation schema of `D`;
+//! 2. **Subset elimination** — delete a relation schema contained in another
+//!    relation schema (equal schemas count; one copy of a duplicate pair may
+//!    be deleted).
+//!
+//! Any maximal sequence yields the same result `GR(D, X)` (Maier & Ullman
+//! \[16\]); the result is reduced. Both operations preserve schema type
+//! (tree/cyclic), which yields the classical decision procedure: `D` is a
+//! tree schema iff `GR(D, ∅)` collapses to the single empty relation schema
+//! (Corollary 3.1).
+
+use gyo_schema::{AttrId, AttrSet, DbSchema, FxHashMap, FxHashSet};
+
+/// One GYO operation, recorded against *original* relation indices of the
+/// input schema (indices never shift as relations are eliminated).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GyoStep {
+    /// Deleted attribute `attr` from relation `rel`, where it was isolated
+    /// (appeared in no other surviving relation) and not sacred.
+    DeleteAttr {
+        /// The deleted attribute.
+        attr: AttrId,
+        /// Original index of the relation it was deleted from.
+        rel: usize,
+    },
+    /// Eliminated relation `removed` because (its current value) was a
+    /// subset of relation `witness`'s current value.
+    RemoveSubset {
+        /// Original index of the eliminated relation.
+        removed: usize,
+        /// Original index of the containing relation.
+        witness: usize,
+    },
+}
+
+/// The outcome of a GYO reduction: the reduced schema, the surviving
+/// original indices, and the full operation trace.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// `GR(D, X)` — surviving relation schemas with deleted attributes
+    /// removed, in original multiset order.
+    pub result: DbSchema,
+    /// Original indices of the surviving relations (parallel to
+    /// `result.rels()`).
+    pub survivors: Vec<usize>,
+    /// Operations applied, in order.
+    pub trace: Vec<GyoStep>,
+}
+
+impl Reduction {
+    /// Whether the reduction ran to the single empty relation schema — the
+    /// Corollary 3.1 criterion for tree schemas (an empty input schema also
+    /// counts).
+    pub fn is_total(&self) -> bool {
+        self.result.is_empty() || (self.result.len() == 1 && self.result.rel(0).is_empty())
+    }
+
+    /// Pretty-prints the operation trace, one step per line, in the
+    /// vocabulary of §3.3 (attribute names resolved through `cat`).
+    pub fn display(&self, cat: &gyo_schema::Catalog) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for step in &self.trace {
+            match *step {
+                GyoStep::DeleteAttr { attr, rel } => writeln!(
+                    out,
+                    "delete isolated attribute {} from R{rel}",
+                    cat.name(attr)
+                ),
+                GyoStep::RemoveSubset { removed, witness } => {
+                    writeln!(out, "eliminate R{removed} (⊆ R{witness})")
+                }
+            }
+            .expect("write to string");
+        }
+        write!(out, "result: {}", self.result.to_notation(cat)).expect("write to string");
+        out
+    }
+}
+
+/// Tree vs cyclic — the paper's fundamental dichotomy (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemaKind {
+    /// Some qual graph for the schema is a tree ("α-acyclic" in the wider
+    /// literature).
+    Tree,
+    /// No qual graph for the schema is a tree.
+    Cyclic,
+}
+
+/// Computes `GR(D, X)` with the incremental engine.
+///
+/// Runs in `O(Σ|R| · log + subset-probe)` time in practice: attribute
+/// occurrence counts drive isolated-attribute deletion; subset elimination
+/// probes only the candidate relations sharing the rarest attribute of a
+/// shrunken relation.
+///
+/// # Examples
+///
+/// ```
+/// use gyo_schema::{Catalog, DbSchema, AttrSet};
+/// use gyo_reduce::gyo_reduce;
+///
+/// let mut cat = Catalog::alphabetic();
+/// let d = DbSchema::parse("ab, bc, cd", &mut cat).unwrap();
+/// let red = gyo_reduce(&d, &AttrSet::empty());
+/// assert!(red.is_total()); // chains are tree schemas
+///
+/// let ring = DbSchema::parse("ab, bc, cd, da", &mut cat).unwrap();
+/// assert!(!gyo_reduce(&ring, &AttrSet::empty()).is_total());
+/// ```
+pub fn gyo_reduce(d: &DbSchema, x: &AttrSet) -> Reduction {
+    Engine::new(d, x).run()
+}
+
+/// Computes just the reduced schema `GR(D, X)`.
+pub fn gr(d: &DbSchema, x: &AttrSet) -> DbSchema {
+    gyo_reduce(d, x).result
+}
+
+/// A deliberately simple fixpoint engine: scan for the first applicable
+/// operation, apply it, repeat. `O(n³·w)` worst case; retained as the test
+/// oracle for the incremental engine (both must agree — GR is unique).
+pub fn gyo_reduce_naive(d: &DbSchema, x: &AttrSet) -> Reduction {
+    let mut rels: Vec<AttrSet> = d.iter().cloned().collect();
+    let mut alive: Vec<bool> = vec![true; rels.len()];
+    let mut trace = Vec::new();
+    loop {
+        let mut progressed = false;
+        // Operation (1): isolated attribute deletion.
+        'attrs: for i in 0..rels.len() {
+            if !alive[i] {
+                continue;
+            }
+            for a in rels[i].clone().iter() {
+                if x.contains(a) {
+                    continue;
+                }
+                let occurrences = rels
+                    .iter()
+                    .zip(&alive)
+                    .filter(|(r, &al)| al && r.contains(a))
+                    .count();
+                if occurrences == 1 {
+                    rels[i].remove(a);
+                    trace.push(GyoStep::DeleteAttr { attr: a, rel: i });
+                    progressed = true;
+                    break 'attrs;
+                }
+            }
+        }
+        if progressed {
+            continue;
+        }
+        // Operation (2): subset elimination.
+        'subsets: for i in 0..rels.len() {
+            if !alive[i] {
+                continue;
+            }
+            for j in 0..rels.len() {
+                if i == j || !alive[j] {
+                    continue;
+                }
+                let removable = rels[i].is_subset(&rels[j]) && (rels[i] != rels[j] || i > j);
+                if removable {
+                    alive[i] = false;
+                    trace.push(GyoStep::RemoveSubset {
+                        removed: i,
+                        witness: j,
+                    });
+                    progressed = true;
+                    break 'subsets;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let survivors: Vec<usize> = (0..rels.len()).filter(|&i| alive[i]).collect();
+    Reduction {
+        result: DbSchema::new(survivors.iter().map(|&i| rels[i].clone()).collect()),
+        survivors,
+        trace,
+    }
+}
+
+/// Decides whether `D` is a tree schema (Corollary 3.1: `D` is a tree schema
+/// iff the unrestricted GYO reduction is total).
+pub fn is_tree_schema(d: &DbSchema) -> bool {
+    gyo_reduce(d, &AttrSet::empty()).is_total()
+}
+
+/// Classifies `D` as [`SchemaKind::Tree`] or [`SchemaKind::Cyclic`].
+pub fn classify(d: &DbSchema) -> SchemaKind {
+    if is_tree_schema(d) {
+        SchemaKind::Tree
+    } else {
+        SchemaKind::Cyclic
+    }
+}
+
+/// `U(GR(D))` — by Corollary 3.2 the relation schema of least cardinality
+/// whose addition to `D` makes it a tree schema. For a tree schema this is
+/// the empty set (adding `∅` changes nothing relevant).
+pub fn treeifying_relation(d: &DbSchema) -> AttrSet {
+    gr(d, &AttrSet::empty()).attributes()
+}
+
+// ---------------------------------------------------------------------------
+// Incremental engine
+// ---------------------------------------------------------------------------
+
+struct Engine<'a> {
+    sacred: &'a AttrSet,
+    rels: Vec<AttrSet>,
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// attribute -> indices of alive relations containing it
+    holders: FxHashMap<AttrId, FxHashSet<usize>>,
+    /// relations whose content changed and must be re-checked
+    dirty: Vec<usize>,
+    in_dirty: Vec<bool>,
+    trace: Vec<GyoStep>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(d: &DbSchema, sacred: &'a AttrSet) -> Self {
+        let rels: Vec<AttrSet> = d.iter().cloned().collect();
+        let n = rels.len();
+        let mut holders: FxHashMap<AttrId, FxHashSet<usize>> = FxHashMap::default();
+        for (i, r) in rels.iter().enumerate() {
+            for a in r.iter() {
+                holders.entry(a).or_default().insert(i);
+            }
+        }
+        Engine {
+            sacred,
+            rels,
+            alive: vec![true; n],
+            alive_count: n,
+            holders,
+            dirty: (0..n).collect(),
+            in_dirty: vec![true; n],
+            trace: Vec::new(),
+        }
+    }
+
+    fn mark_dirty(&mut self, i: usize) {
+        if self.alive[i] && !self.in_dirty[i] {
+            self.in_dirty[i] = true;
+            self.dirty.push(i);
+        }
+    }
+
+    /// Deletes every currently-isolated non-sacred attribute of relation `i`.
+    fn delete_isolated(&mut self, i: usize) {
+        let mut to_delete = Vec::new();
+        for a in self.rels[i].iter() {
+            if self.sacred.contains(a) {
+                continue;
+            }
+            if self.holders.get(&a).map_or(0, |h| h.len()) == 1 {
+                to_delete.push(a);
+            }
+        }
+        for a in to_delete {
+            self.rels[i].remove(a);
+            self.holders.remove(&a);
+            self.trace.push(GyoStep::DeleteAttr { attr: a, rel: i });
+        }
+    }
+
+    /// Looks for an alive `j ≠ i` with `rels[i] ⊆ rels[j]`, preferring the
+    /// candidate set of the rarest attribute of `i`. Empty relations scan
+    /// for any other alive relation.
+    fn find_witness(&self, i: usize) -> Option<usize> {
+        if self.rels[i].is_empty() {
+            return (0..self.rels.len()).find(|&j| j != i && self.alive[j]);
+        }
+        // Probe only relations holding the rarest attribute of rels[i].
+        let rarest = self
+            .rels[i]
+            .iter()
+            .min_by_key(|a| self.holders.get(a).map_or(0, |h| h.len()))?;
+        let candidates = self.holders.get(&rarest)?;
+        for &j in candidates {
+            if j == i || !self.alive[j] {
+                continue;
+            }
+            if self.rels[i].is_subset(&self.rels[j]) {
+                // For equal multiset entries, remove either copy; determinism
+                // of the *resulting multiset* does not depend on the choice.
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    fn remove_rel(&mut self, i: usize, witness: usize) {
+        self.alive[i] = false;
+        self.alive_count -= 1;
+        self.trace.push(GyoStep::RemoveSubset {
+            removed: i,
+            witness,
+        });
+        let attrs: Vec<AttrId> = self.rels[i].iter().collect();
+        for a in attrs {
+            if let Some(h) = self.holders.get_mut(&a) {
+                h.remove(&i);
+                if h.len() == 1 {
+                    // the attribute may have become isolated elsewhere
+                    let sole = *h.iter().next().expect("len checked");
+                    self.mark_dirty(sole);
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> Reduction {
+        while let Some(i) = self.dirty.pop() {
+            self.in_dirty[i] = false;
+            if !self.alive[i] {
+                continue;
+            }
+            let before = self.rels[i].len();
+            self.delete_isolated(i);
+            if self.rels[i].len() != before {
+                // A shrunken relation may now be a subset of a neighbor, and
+                // *it* is the only relation whose subset status changed.
+                self.mark_dirty(i);
+            }
+            if self.alive_count > 1 {
+                if let Some(w) = self.find_witness(i) {
+                    self.remove_rel(i, w);
+                    // The witness did not change, but relations that shared
+                    // attributes with `i` may now hold isolated attributes;
+                    // remove_rel marked exactly those.
+                }
+            }
+        }
+        debug_assert!(self.fixpoint_reached());
+        let survivors: Vec<usize> = (0..self.rels.len()).filter(|&i| self.alive[i]).collect();
+        Reduction {
+            result: DbSchema::new(survivors.iter().map(|&i| self.rels[i].clone()).collect()),
+            survivors,
+            trace: self.trace,
+        }
+    }
+
+    /// Debug check: no operation applies any more.
+    fn fixpoint_reached(&self) -> bool {
+        for i in 0..self.rels.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            for a in self.rels[i].iter() {
+                if !self.sacred.contains(a)
+                    && self.holders.get(&a).map_or(0, |h| h.len()) == 1
+                {
+                    return false;
+                }
+            }
+            for j in 0..self.rels.len() {
+                if i != j && self.alive[j] && self.rels[i].is_subset(&self.rels[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_schema::Catalog;
+
+    fn db(s: &str) -> (DbSchema, Catalog) {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse(s, &mut cat).unwrap();
+        (d, cat)
+    }
+
+    fn set(s: &str, cat: &mut Catalog) -> AttrSet {
+        AttrSet::parse(s, cat).unwrap()
+    }
+
+    #[test]
+    fn fig1_classifications() {
+        // Fig. 1 of the paper.
+        assert_eq!(classify(&db("ab, bc, cd").0), SchemaKind::Tree);
+        assert_eq!(classify(&db("ab, bc, ac").0), SchemaKind::Cyclic);
+        assert_eq!(classify(&db("abc, cde, ace, afe").0), SchemaKind::Tree);
+    }
+
+    #[test]
+    fn fig2_aring_and_aclique_are_cyclic() {
+        // Fig. 2a and 2b.
+        assert_eq!(classify(&db("ab, bc, cd, da").0), SchemaKind::Cyclic);
+        assert_eq!(classify(&db("bcd, acd, abd, abc").0), SchemaKind::Cyclic);
+    }
+
+    #[test]
+    fn empty_and_trivial_schemas_are_trees() {
+        assert!(is_tree_schema(&DbSchema::empty()));
+        assert!(is_tree_schema(&db("abc").0));
+        assert!(is_tree_schema(&db("ab, ab").0)); // duplicates collapse
+        let empty_rel = DbSchema::new(vec![AttrSet::empty()]);
+        assert!(is_tree_schema(&empty_rel));
+    }
+
+    #[test]
+    fn reduction_result_is_reduced_and_respects_sacred_attrs() {
+        let (d, mut cat) = db("abc, ab, bc");
+        let x = set("abc", &mut cat);
+        let red = gyo_reduce(&d, &x);
+        assert!(red.result.is_reduced());
+        // With all attributes sacred only subset elimination applies.
+        assert_eq!(red.result, db("abc").0);
+        assert_eq!(red.survivors, vec![0]);
+    }
+
+    #[test]
+    fn gr_with_partial_sacred_set() {
+        // GR((ab, bc, cd), ab): d isolated -> (ab, bc, c); c sacred? no —
+        // X = ab, so c deletable once isolated: bc stays (b,c shared)…
+        let (d, mut cat) = db("ab, bc, cd");
+        let x = set("ab", &mut cat);
+        let g = gr(&d, &x);
+        // cd loses d, becomes c ⊆ bc, removed; bc loses c (now isolated),
+        // becomes b ⊆ ab, removed. Result: (ab).
+        assert_eq!(g, db("ab").0);
+    }
+
+    #[test]
+    fn incremental_agrees_with_naive_on_examples() {
+        let cases = [
+            "ab, bc, cd",
+            "ab, bc, ac",
+            "abc, cde, ace, afe",
+            "ab, bc, cd, da",
+            "bcd, acd, abd, abc",
+            "abc, ab, bc, abc",
+            "a, b, c",
+            "abcde",
+            "ab, ab, ab",
+        ];
+        for s in cases {
+            let (d, mut cat) = db(s);
+            for xs in ["", "a", "ab", "abc"] {
+                let x = set(xs, &mut cat);
+                let fast = gyo_reduce(&d, &x);
+                let slow = gyo_reduce_naive(&d, &x);
+                assert_eq!(fast.result, slow.result, "case {s} X={xs}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_replay_reproduces_result() {
+        let (d, _) = db("abc, cde, ace, afe");
+        let red = gyo_reduce(&d, &AttrSet::empty());
+        // Replay the trace naively and verify it is a legal op sequence.
+        let mut rels: Vec<AttrSet> = d.iter().cloned().collect();
+        let mut alive = vec![true; rels.len()];
+        for step in &red.trace {
+            match *step {
+                GyoStep::DeleteAttr { attr, rel } => {
+                    assert!(alive[rel]);
+                    let holders = rels
+                        .iter()
+                        .zip(&alive)
+                        .filter(|(r, &al)| al && r.contains(attr))
+                        .count();
+                    assert_eq!(holders, 1, "attribute must be isolated");
+                    assert!(rels[rel].remove(attr));
+                }
+                GyoStep::RemoveSubset { removed, witness } => {
+                    assert!(alive[removed] && alive[witness]);
+                    assert!(rels[removed].is_subset(&rels[witness]));
+                    alive[removed] = false;
+                }
+            }
+        }
+        let survivors: Vec<AttrSet> = rels
+            .iter()
+            .zip(&alive)
+            .filter(|(_, &al)| al)
+            .map(|(r, _)| r.clone())
+            .collect();
+        assert_eq!(DbSchema::new(survivors), red.result);
+    }
+
+    #[test]
+    fn corollary_3_2_treeifying_relation() {
+        // Aring of size 4: GR is the ring itself, so the treeifying relation
+        // is all four attributes.
+        let (ring, cat) = db("ab, bc, cd, da");
+        assert_eq!(treeifying_relation(&ring).to_notation(&cat), "abcd");
+        // Adding it indeed yields a tree schema (Theorem 3.2(ii)).
+        let fixed = ring.with_rel(treeifying_relation(&ring));
+        assert!(is_tree_schema(&fixed));
+        // Tree schemas need nothing.
+        let (chain, _) = db("ab, bc");
+        assert!(treeifying_relation(&chain).is_empty());
+    }
+
+    #[test]
+    fn theorem_3_2_iii_any_treeifying_single_relation_covers_u_gr() {
+        // If D ∪ (S) is a tree schema then S ⊇ U(GR(D)).
+        let (ring, mut cat) = db("ab, bc, cd, da");
+        let need = treeifying_relation(&ring);
+        // abc misses d: adding it must NOT treeify.
+        let s = set("abc", &mut cat);
+        assert!(!need.is_subset(&s));
+        assert!(!is_tree_schema(&ring.with_rel(s)));
+        // any superset of abcd treeifies
+        let s2 = set("abcd", &mut cat);
+        assert!(is_tree_schema(&ring.with_rel(s2)));
+    }
+
+    #[test]
+    fn survivors_point_at_original_indices() {
+        let (d, mut cat) = db("ab, abc, bc");
+        let x = set("abc", &mut cat);
+        let red = gyo_reduce(&d, &x);
+        assert_eq!(red.survivors, vec![1]);
+        assert_eq!(red.result.rel(0), d.rel(1));
+    }
+
+    #[test]
+    fn sacred_attributes_never_deleted() {
+        let (d, mut cat) = db("ab, cd");
+        let x = set("ad", &mut cat);
+        let red = gyo_reduce(&d, &x);
+        for step in &red.trace {
+            if let GyoStep::DeleteAttr { attr, .. } = step {
+                assert!(!x.contains(*attr));
+            }
+        }
+        // b and c are deletable; a and d sacred: result (a, d).
+        let mut expect_cat = Catalog::alphabetic();
+        let expect = DbSchema::new(vec![
+            AttrSet::parse("a", &mut expect_cat).unwrap(),
+            AttrSet::parse("d", &mut expect_cat).unwrap(),
+        ]);
+        assert_eq!(red.result, expect);
+    }
+
+    #[test]
+    fn trace_display_is_readable() {
+        let (d, cat) = db("abc, ab, bc");
+        let red = gyo_reduce(&d, &AttrSet::empty());
+        let text = red.display(&cat);
+        assert!(text.contains("eliminate"), "{text}");
+        assert!(text.ends_with("result: (∅)"), "{text}");
+    }
+
+    #[test]
+    fn big_chain_reduces_quickly() {
+        // a cheap smoke test that the incremental engine is not quadratic in
+        // an obvious way: 2000-relation chain.
+        let n = 2000u32;
+        let rels: Vec<AttrSet> = (0..n).map(|i| AttrSet::from_raw(&[i, i + 1])).collect();
+        let d = DbSchema::new(rels);
+        assert!(is_tree_schema(&d));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the GYO engine: the §3.3 invariants the paper states
+//! without proof ("operations preserve schema type", uniqueness of GR) and
+//! the laws connecting GR to reduction.
+
+use gyo_reduce::{classify, gr, gyo_reduce, gyo_reduce_naive, is_tree_schema, GyoStep};
+use gyo_schema::{AttrSet, DbSchema};
+use proptest::prelude::*;
+
+fn attr_set() -> impl Strategy<Value = AttrSet> {
+    proptest::collection::vec(0u32..10, 0..6).prop_map(|v| AttrSet::from_raw(&v))
+}
+
+fn schema() -> impl Strategy<Value = DbSchema> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..10, 1..5).prop_map(|v| AttrSet::from_raw(&v)),
+        0..6,
+    )
+    .prop_map(DbSchema::new)
+}
+
+/// Applies one legal GYO operation (if any) and returns the new schema.
+fn apply_one_op(d: &DbSchema, x: &AttrSet) -> Option<DbSchema> {
+    let red = gyo_reduce(d, x);
+    let step = red.trace.first()?;
+    let mut rels: Vec<AttrSet> = d.iter().cloned().collect();
+    match *step {
+        GyoStep::DeleteAttr { attr, rel } => {
+            rels[rel].remove(attr);
+        }
+        GyoStep::RemoveSubset { removed, .. } => {
+            rels.remove(removed);
+        }
+    }
+    Some(DbSchema::new(rels))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// §3.3: "(1) and (2) preserve schema type" — applying one operation
+    /// never flips tree ↔ cyclic.
+    #[test]
+    fn single_ops_preserve_schema_type(d in schema(), x in attr_set()) {
+        if let Some(next) = apply_one_op(&d, &x) {
+            prop_assert_eq!(classify(&d), classify(&next), "{:?} -> {:?}", d, next);
+        }
+    }
+
+    /// Maier & Ullman: GR(D, X) is unique — engine order must not matter,
+    /// including under input permutation (up to multiset equality).
+    #[test]
+    fn gr_is_unique_up_to_input_order(d in schema(), x in attr_set()) {
+        let forward = gr(&d, &x);
+        let mut rels: Vec<AttrSet> = d.iter().cloned().collect();
+        rels.reverse();
+        let backward = gr(&DbSchema::new(rels), &x);
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(&forward, &gyo_reduce_naive(&d, &x).result);
+        prop_assert!(forward.is_reduced());
+    }
+
+    /// GR with every attribute sacred degenerates to subset elimination:
+    /// `GR(D, U(D)) = reduce(D)`.
+    #[test]
+    fn gr_with_full_sacred_set_is_reduce(d in schema()) {
+        let u = d.attributes();
+        prop_assert_eq!(gr(&d, &u), d.reduce());
+    }
+
+    /// Survivor attribute sets shrink monotonically with the sacred set:
+    /// attributes of GR(D, X) outside X can only disappear when X grows.
+    #[test]
+    fn gr_attributes_contain_sacred_intersection(d in schema(), x in attr_set()) {
+        let g = gr(&d, &x);
+        // every surviving attribute is an original attribute
+        prop_assert!(g.attributes().is_subset(&d.attributes()));
+        // sacred attributes of U(D) always survive in some relation unless
+        // their entire relations were subset-eliminated — they are never
+        // *deleted*, so X ∩ U(D) ⊆ U(GR) ∪ (attrs of eliminated rels ⊆
+        // witnesses ⊆ …) ⇒ in fact X ∩ U(D) ⊆ U(GR).
+        let sacred_present = x.intersect(&d.attributes());
+        prop_assert!(sacred_present.is_subset(&g.attributes()),
+            "sacred {:?} lost from {:?} -> {:?}", sacred_present, d, g);
+    }
+
+    /// The reduction never grows: |GR| ≤ |D| and Σ|R| never increases.
+    #[test]
+    fn gr_shrinks(d in schema(), x in attr_set()) {
+        let g = gr(&d, &x);
+        prop_assert!(g.len() <= d.len());
+        let total = |s: &DbSchema| s.iter().map(|r| r.len()).sum::<usize>();
+        prop_assert!(total(&g) <= total(&d));
+    }
+
+    /// Classification agrees between direct GYO and GYO-after-reduce
+    /// (subset elimination preserves type).
+    #[test]
+    fn classification_survives_reduction(d in schema()) {
+        prop_assert_eq!(classify(&d), classify(&d.reduce()));
+    }
+
+    /// Adding the full attribute set always treeifies (Theorem 3.2(ii)
+    /// upper bound), and adding U(GR(D)) is enough.
+    #[test]
+    fn treeifying_relation_works(d in schema()) {
+        let w = gyo_reduce::treeifying_relation(&d);
+        prop_assert!(is_tree_schema(&d.with_rel(w)));
+        prop_assert!(is_tree_schema(&d.with_rel(d.attributes())));
+    }
+
+    /// Join trees from traces always validate for tree schemas.
+    #[test]
+    fn trace_join_trees_validate(d in schema()) {
+        let red = gyo_reduce(&d, &AttrSet::empty());
+        match gyo_reduce::join_tree_from_trace(&d, &red) {
+            Some(t) => {
+                prop_assert!(red.is_total());
+                prop_assert!(t.graph().is_valid_for(&d));
+                prop_assert!(t.attribute_connectivity_holds(&d));
+            }
+            None => prop_assert!(!red.is_total()),
+        }
+    }
+}
+
+/// The sacred-survival law above depends on a subtle fact worth one
+/// concrete regression: a sacred attribute's holder can be subset-
+/// eliminated, but only into a witness that also holds the attribute.
+#[test]
+fn sacred_attribute_survives_subset_elimination() {
+    let mut cat = gyo_schema::Catalog::alphabetic();
+    let d = DbSchema::parse("ab, abc", &mut cat).unwrap();
+    let x = AttrSet::parse("a", &mut cat).unwrap();
+    let g = gr(&d, &x);
+    assert!(g.attributes().contains(cat.lookup("a").unwrap()));
+}

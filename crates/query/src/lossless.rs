@@ -1,0 +1,186 @@
+//! Lossless joins (§5): when does `⋈D ⊨ ⋈D'`?
+//!
+//! `⋈D ⊨ ⋈D'` means every universal relation satisfying the join
+//! dependency `⋈D` also satisfies `⋈D'` — equivalently (Theorem 5.1), the
+//! queries `(D, U(D'))` and `(D', U(D'))` are weakly equivalent, and
+//! equivalently again `CC(D, U(D')) ⊆ D'`.
+//!
+//! For tree schemas the criterion collapses to graph shape (Corollary 5.2):
+//! `⋈D ⊨ ⋈D'` iff `D'` is a subtree of `D`.
+
+use gyo_schema::{AttrSet, DbSchema};
+use gyo_tableau::canonical_connection;
+
+use crate::equiv::weakly_equivalent_semantic;
+use crate::query::JoinQuery;
+
+/// Theorem 5.1: `⋈D ⊨ ⋈D'` iff `CC(D, U(D')) ⊆ D'` (for `D' ≤ D`; the
+/// theorem also shows `⊆` and `≤` coincide here, and equality holds iff
+/// `D'` is reduced). `d_sub` indexes the sub-schema within `d`.
+pub fn implies_lossless(d: &DbSchema, d_sub: &[usize]) -> bool {
+    let d_prime = d.project_rels(d_sub);
+    let u_prime = d_prime.attributes();
+    let cc = canonical_connection(d, &u_prime);
+    cc.iter().all(|r| d_prime.contains_rel(r))
+}
+
+/// The semantic route to the same answer, via the frozen-tableau weak
+/// equivalence of `(D, U(D'))` and `(D', U(D'))` (the reduction inside
+/// Theorem 5.1's proof). Exact; used to cross-validate
+/// [`implies_lossless`].
+pub fn implies_lossless_semantic(d: &DbSchema, d_sub: &[usize]) -> bool {
+    let d_prime = d.project_rels(d_sub);
+    let u_prime = d_prime.attributes();
+    let q_full = JoinQuery::new(d.clone(), u_prime.clone());
+    let q_sub_over_full = JoinQuery::new(d_prime, u_prime);
+    weakly_equivalent_semantic(&q_full, &q_sub_over_full)
+}
+
+/// Theorem 5.2 / Corollary 5.3: `CC(D, X)` is a minimum-cardinality
+/// `D' ≤ D` with `(D', X) ≡ (D, X)`, and `⋈D ⊨ ⋈CC(D, X)` — i.e. the
+/// canonical connection always has a lossless join. Returns `CC(D, X)`.
+pub fn min_equivalent_subschema(d: &DbSchema, x: &AttrSet) -> DbSchema {
+    canonical_connection(d, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_reduce::is_subtree;
+    use gyo_relation::{join_of_projections, satisfies_jd};
+    use gyo_schema::Catalog;
+    use gyo_tableau::Tableau;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db(s: &str, cat: &mut Catalog) -> DbSchema {
+        DbSchema::parse(s, cat).unwrap()
+    }
+
+    #[test]
+    fn section_5_1_example_not_lossless() {
+        // D = (abc, ab, bc), D' = (ab, bc): ⋈D ⊭ ⋈D' and D' is not a
+        // subtree of D.
+        let mut cat = Catalog::alphabetic();
+        let d = db("abc, ab, bc", &mut cat);
+        assert!(!implies_lossless(&d, &[1, 2]));
+        assert!(!implies_lossless_semantic(&d, &[1, 2]));
+        assert!(!is_subtree(&d, &[1, 2]));
+        // but the sub-schema (abc, ab) is lossless (ab ⊆ abc).
+        assert!(implies_lossless(&d, &[0, 1]));
+        assert!(implies_lossless_semantic(&d, &[0, 1]));
+    }
+
+    #[test]
+    fn corollary_5_2_tree_schema_lossless_iff_subtree() {
+        let mut cat = Catalog::alphabetic();
+        for (s, n) in [("ab, bc, cd", 3), ("abc, cde, ace, afe", 4), ("abc, ab, bc", 3)] {
+            let d = db(s, &mut cat);
+            for mask in 1u32..(1 << n) {
+                let nodes: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+                assert_eq!(
+                    implies_lossless(&d, &nodes),
+                    is_subtree(&d, &nodes),
+                    "case {s}, nodes {nodes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_and_syntactic_deciders_agree() {
+        let mut cat = Catalog::alphabetic();
+        for (s, n) in [
+            ("ab, bc, cd", 3),
+            ("abc, ab, bc", 3),
+            ("ab, bc, cd, da", 4),
+            ("abc, cde, ace", 3),
+        ] {
+            let d = db(s, &mut cat);
+            for mask in 1u32..(1 << n) {
+                let nodes: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+                assert_eq!(
+                    implies_lossless(&d, &nodes),
+                    implies_lossless_semantic(&d, &nodes),
+                    "case {s}, nodes {nodes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_claims_hold_on_jd_closed_instances() {
+        // If ⋈D ⊨ ⋈D' then every m_D-closed instance satisfies ⋈D'.
+        let mut cat = Catalog::alphabetic();
+        let mut rng = StdRng::seed_from_u64(23);
+        for s in ["ab, bc, cd", "abc, ab, bc", "ab, bc, cd, da"] {
+            let d = db(s, &mut cat);
+            let n = d.len();
+            for mask in 1u32..(1 << n) {
+                let nodes: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+                if !implies_lossless(&d, &nodes) {
+                    continue;
+                }
+                let d_prime = d.project_rels(&nodes);
+                for _ in 0..3 {
+                    let i = gyo_workloads::jd_closed_universal(&mut rng, &d, 25, 6);
+                    assert!(satisfies_jd(&i, &d), "premise");
+                    assert!(
+                        satisfies_jd(&i.project(&d.attributes()), &d_prime),
+                        "⋈D ⊨ ⋈D' violated on a closed instance: {s}, {nodes:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_lossless_has_a_counterexample_instance() {
+        // For the §5.1 example, the frozen tableau of (D, U(D')) closed
+        // under m_D is a jd-closed instance violating ⋈D'.
+        let mut cat = Catalog::alphabetic();
+        let d = db("abc, ab, bc", &mut cat);
+        let d_prime = db("ab, bc", &mut cat);
+        let frozen = Tableau::standard(&d, &d_prime.attributes()).freeze();
+        let i0 = gyo_relation::Relation::new(frozen.attrs.clone(), frozen.tuples.clone());
+        let closed = join_of_projections(&i0, &d);
+        assert!(satisfies_jd(&closed, &d), "m_D(I) satisfies ⋈D");
+        assert!(
+            !satisfies_jd(&closed.project(&d.attributes()), &d_prime),
+            "counterexample to ⋈D'"
+        );
+    }
+
+    #[test]
+    fn theorem_5_2_cc_is_min_equivalent_and_lossless() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("abg, bcg, acf, ad, de, ea", &mut cat);
+        let x = AttrSet::parse("abc", &mut cat).unwrap();
+        let cc = min_equivalent_subschema(&d, &x);
+        assert_eq!(cc.len(), 3, "CC has minimum cardinality");
+        // Theorem 5.2: CC(D, U(D')) = D' for D' = CC(D, X).
+        let cc2 = canonical_connection(&d, &cc.attributes());
+        assert_eq!(cc2, cc);
+    }
+
+    #[test]
+    fn whole_schema_is_always_lossless() {
+        let mut cat = Catalog::alphabetic();
+        for s in ["ab, bc", "ab, bc, cd, da", "abc, ab, bc"] {
+            let d = db(s, &mut cat);
+            let all: Vec<usize> = (0..d.len()).collect();
+            assert!(implies_lossless(&d, &all), "case {s}");
+        }
+    }
+
+    #[test]
+    fn single_relation_subschema_is_always_lossless() {
+        let mut cat = Catalog::alphabetic();
+        for s in ["ab, bc", "ab, bc, cd, da", "abc, ab, bc"] {
+            let d = db(s, &mut cat);
+            for i in 0..d.len() {
+                assert!(implies_lossless(&d, &[i]), "case {s}, rel {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Program optimization: dead-statement elimination.
+//!
+//! §6 defines a program's output as the value of its *last* statement, so
+//! any statement whose result is not (transitively) consumed by the last
+//! one is dead. Eliminating dead statements never changes the output and
+//! shrinks `P(D)` — which can only *shrink* the tree-projection search
+//! space of Theorems 6.1–6.4, never invalidate a solution that used live
+//! relations.
+
+use gyo_schema::FxHashSet;
+
+use crate::program::{Program, RelRef, Statement};
+
+/// The result of dead-statement elimination.
+#[derive(Clone, Debug)]
+pub struct Slimmed {
+    /// The optimized program (same base schema, same output).
+    pub program: Program,
+    /// Old statement index → new statement index (dead statements absent).
+    pub remap: Vec<Option<usize>>,
+}
+
+/// Removes every statement that does not feed the final statement.
+///
+/// # Panics
+///
+/// Panics if the program has no statements (there is no output to
+/// preserve).
+pub fn eliminate_dead_statements(p: &Program) -> Slimmed {
+    assert!(!p.is_empty(), "a program needs an output statement");
+    let base = p.base().len();
+    let stmts = p.statements();
+    let last = stmts.len() - 1;
+
+    // Mark live statements by walking the lineage of the last one.
+    let mut live = vec![false; stmts.len()];
+    let mut stack: Vec<usize> = vec![last];
+    let mut seen: FxHashSet<usize> = FxHashSet::default();
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s) {
+            continue;
+        }
+        live[s] = true;
+        let mut visit = |r: RelRef| {
+            if r >= base {
+                stack.push(r - base);
+            }
+        };
+        match &stmts[s] {
+            Statement::Join { left, right } | Statement::Semijoin { left, right } => {
+                visit(*left);
+                visit(*right);
+            }
+            Statement::Project { src, .. } => visit(*src),
+        }
+    }
+
+    // Rebuild with remapped operands.
+    let mut remap: Vec<Option<usize>> = vec![None; stmts.len()];
+    let mut slim = Program::new(p.base().clone());
+    for (s, stmt) in stmts.iter().enumerate() {
+        if !live[s] {
+            continue;
+        }
+        let fix = |r: RelRef| -> RelRef {
+            if r < base {
+                r
+            } else {
+                base + remap[r - base].expect("operands of live statements are live")
+            }
+        };
+        let new_idx = match stmt {
+            Statement::Join { left, right } => slim.join(fix(*left), fix(*right)),
+            Statement::Semijoin { left, right } => slim.semijoin(fix(*left), fix(*right)),
+            Statement::Project { src, onto } => slim.project(fix(*src), onto.clone()),
+        };
+        remap[s] = Some(new_idx - base);
+    }
+    Slimmed {
+        program: slim,
+        remap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_relation::{DbState, Relation};
+    use gyo_schema::{AttrSet, Catalog, DbSchema};
+
+    fn setup() -> (DbSchema, DbState, Catalog) {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab, bc, cd", &mut cat).unwrap();
+        let i = Relation::new(
+            d.attributes(),
+            vec![vec![1, 2, 3, 4], vec![5, 2, 3, 6], vec![1, 7, 8, 9]],
+        );
+        let state = DbState::from_universal(&i, &d);
+        (d, state, cat)
+    }
+
+    #[test]
+    fn dead_joins_are_removed() {
+        let (d, state, mut cat) = setup();
+        let mut p = Program::new(d);
+        let j1 = p.join(0, 1); // live
+        let _dead1 = p.join(1, 2); // dead
+        let _dead2 = p.semijoin(0, 2); // dead
+        let out = p.project(j1, AttrSet::parse("ac", &mut cat).unwrap()); // live
+        let _ = out;
+        let slim = eliminate_dead_statements(&p);
+        assert_eq!(slim.program.len(), 2);
+        assert_eq!(slim.program.run(&state), p.run(&state));
+        assert_eq!(slim.remap[0], Some(0));
+        assert_eq!(slim.remap[1], None);
+        assert_eq!(slim.remap[2], None);
+        assert_eq!(slim.remap[3], Some(1));
+    }
+
+    #[test]
+    fn fully_live_program_is_unchanged() {
+        let (d, state, _) = setup();
+        let mut p = Program::new(d);
+        let j1 = p.join(0, 1);
+        let j2 = p.join(j1, 2);
+        let _ = j2;
+        let slim = eliminate_dead_statements(&p);
+        assert_eq!(slim.program.len(), p.len());
+        assert_eq!(slim.program.statements(), p.statements());
+        assert_eq!(slim.program.run(&state), p.run(&state));
+    }
+
+    #[test]
+    fn diamond_lineage_kept_once() {
+        let (d, state, mut cat) = setup();
+        let mut p = Program::new(d);
+        let j1 = p.join(0, 1); // shared by two consumers
+        let pr = p.project(j1, AttrSet::parse("b", &mut cat).unwrap());
+        let _sj = p.semijoin(2, pr); // dead
+        let out = p.join(j1, pr); // live, reuses j1 twice over
+        let _ = out;
+        let slim = eliminate_dead_statements(&p);
+        assert_eq!(slim.program.len(), 3);
+        assert_eq!(slim.program.run(&state), p.run(&state));
+    }
+
+    #[test]
+    fn p_of_d_shrinks_but_output_schema_is_stable() {
+        let (d, _, mut cat) = setup();
+        let mut p = Program::new(d);
+        let j1 = p.join(0, 1);
+        let _dead = p.join(0, 2);
+        p.project(j1, AttrSet::parse("a", &mut cat).unwrap());
+        let slim = eliminate_dead_statements(&p).program;
+        assert!(slim.p_of_d().len() < p.p_of_d().len());
+        let last_old = p.schema_of(p.base().len() + p.len() - 1).clone();
+        let last_new = slim.schema_of(slim.base().len() + slim.len() - 1).clone();
+        assert_eq!(last_old, last_new);
+    }
+
+    #[test]
+    #[should_panic(expected = "output statement")]
+    fn empty_program_rejected() {
+        let (d, _, _) = setup();
+        eliminate_dead_statements(&Program::new(d));
+    }
+}

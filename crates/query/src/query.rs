@@ -1,0 +1,115 @@
+//! The natural-join query `(D, X)` (§2).
+
+use gyo_relation::{DbState, Relation};
+use gyo_schema::{AttrSet, Catalog, DbSchema};
+
+/// The query `Q = (D, X) = π_X(⋈_{R∈D} R)`.
+///
+/// # Examples
+///
+/// ```
+/// use gyo_schema::{AttrSet, Catalog, DbSchema};
+/// use gyo_relation::{DbState, Relation};
+/// use gyo_query::JoinQuery;
+///
+/// let mut cat = Catalog::alphabetic();
+/// let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+/// let x = AttrSet::parse("ac", &mut cat).unwrap();
+/// let q = JoinQuery::new(d.clone(), x);
+///
+/// let i = Relation::new(d.attributes(), vec![vec![1, 2, 3]]);
+/// let state = DbState::from_universal(&i, &d);
+/// assert_eq!(q.eval(&state).tuples(), &[vec![1, 3]]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinQuery {
+    schema: DbSchema,
+    target: AttrSet,
+}
+
+impl JoinQuery {
+    /// Creates `(D, X)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `X ⊄ U(D)` (the paper's standing assumption).
+    pub fn new(schema: DbSchema, target: AttrSet) -> Self {
+        assert!(
+            target.is_subset(&schema.attributes()),
+            "target X must be a subset of U(D)"
+        );
+        Self { schema, target }
+    }
+
+    /// The database schema `D`.
+    #[inline]
+    pub fn schema(&self) -> &DbSchema {
+        &self.schema
+    }
+
+    /// The target `X`.
+    #[inline]
+    pub fn target(&self) -> &AttrSet {
+        &self.target
+    }
+
+    /// Naive evaluation: join everything, project onto `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not match `D`.
+    pub fn eval(&self, state: &DbState) -> Relation {
+        assert_eq!(state.len(), self.schema.len(), "state/schema mismatch");
+        state.eval_join_query(&self.target)
+    }
+
+    /// Renders `(D, X)` in the paper's notation.
+    pub fn to_notation(&self, cat: &Catalog) -> String {
+        format!(
+            "({}, {})",
+            self.schema.to_notation(cat),
+            self.target.to_notation(cat)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_on_hand_built_state() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+        let x = AttrSet::parse("a", &mut cat).unwrap();
+        let ab = AttrSet::parse("ab", &mut cat).unwrap();
+        let bc = AttrSet::parse("bc", &mut cat).unwrap();
+        let state = DbState::new(
+            &d,
+            vec![
+                Relation::new(ab, vec![vec![1, 10], vec![2, 20]]),
+                Relation::new(bc, vec![vec![10, 7]]),
+            ],
+        );
+        let q = JoinQuery::new(d, x);
+        assert_eq!(q.eval(&state).tuples(), &[vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset of U(D)")]
+    fn bad_target_rejected() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab", &mut cat).unwrap();
+        let x = AttrSet::parse("c", &mut cat).unwrap();
+        JoinQuery::new(d, x);
+    }
+
+    #[test]
+    fn notation() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+        let x = AttrSet::parse("ac", &mut cat).unwrap();
+        let q = JoinQuery::new(d, x);
+        assert_eq!(q.to_notation(&cat), "((ab, bc), ac)");
+    }
+}

@@ -1,0 +1,178 @@
+//! The Theorem 6.1/6.2 construction: a program `P` whose materialized
+//! schema `P(D)` admits a tree projection w.r.t. the query can be augmented
+//! with at most `2·|D″|` semijoins to solve `(D, X)`.
+//!
+//! Given `D″ ∈ TP(P(D), CC(D, X) ∪ (X))` with host mapping:
+//!
+//! 1. run `P`, obtaining states for all of `P(D)`;
+//! 2. materialize `state(S) := π_S(state(host(S)))` per member `S ∈ D″`;
+//! 3. full-reduce the `D″` states along a join tree (≤ `2·(|D″|−1)`
+//!    semijoins);
+//! 4. the member containing `X` then holds `π_S(⋈ D″)`; project onto `X`.
+//!
+//! Correctness on UR databases follows from Theorem 6.2 (taking
+//! `CC(D, X)` rather than `D` itself is the UR-specific strengthening);
+//! the tests validate against naive evaluation on random UR states and on
+//! frozen canonical instances.
+
+use gyo_relation::{DbState, Relation};
+use gyo_schema::AttrSet;
+use gyo_treeproj::TreeProjection;
+
+use crate::program::Program;
+use crate::yannakakis::full_reduce;
+
+/// Executes `P`, materializes the tree projection's members, full-reduces
+/// them, and returns the answer `π_X(⋈ D″)`.
+///
+/// # Panics
+///
+/// Panics if the tree projection is inconsistent with `P(D)` (host out of
+/// range or not containing its member), if no member contains `X`, or if
+/// `D″` is not actually a tree schema — all violations of the Theorem 6.1
+/// premises.
+pub fn solve_with_tree_projection(
+    p: &Program,
+    tp: &TreeProjection,
+    state: &DbState,
+    x: &AttrSet,
+) -> Relation {
+    let p_of_d = p.p_of_d();
+    // Validate hosts against P(D).
+    for (i, s) in tp.schema.iter().enumerate() {
+        let host = tp.hosts[i];
+        assert!(
+            s.is_subset(p_of_d.rel(host)),
+            "tree projection member {i} not contained in its host"
+        );
+    }
+    let rels = p.execute(state);
+    let member_states: Vec<Relation> = tp
+        .schema
+        .iter()
+        .zip(&tp.hosts)
+        .map(|(s, &h)| rels[h].project(s))
+        .collect();
+    let member_state = DbState::new(&tp.schema, member_states);
+    let reduced = full_reduce(&tp.schema, &member_state)
+        .expect("a tree projection is a tree schema");
+    // Some member contains X (the TP is taken w.r.t. … ∪ (X)).
+    let holder = tp
+        .schema
+        .iter()
+        .position(|s| x.is_subset(s))
+        .expect("some tree projection member must contain X");
+    // After full reduction, π_X of the holder is π_X(⋈ D″) — but only when
+    // the holder's state is globally consistent, which full reduction
+    // guarantees.
+    reduced.rel(holder).project(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::JoinQuery;
+    use gyo_schema::{Catalog, DbSchema};
+    use gyo_tableau::canonical_connection;
+    use gyo_treeproj::find_tree_projection;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db(s: &str, cat: &mut Catalog) -> DbSchema {
+        DbSchema::parse(s, cat).unwrap()
+    }
+
+    /// The running example: the 4-ring with X = ac, triangulated by the
+    /// program P = { abc := ab ⋈ bc; acd := cd ⋈ da }.
+    fn ring_setup() -> (DbSchema, AttrSet, Program, TreeProjection, Catalog) {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, cd, da", &mut cat);
+        let x = AttrSet::parse("ac", &mut cat).unwrap();
+        let mut p = Program::new(d.clone());
+        p.join(0, 1); // abc
+        p.join(2, 3); // acd
+        let cc = canonical_connection(&d, &x);
+        let goal = cc.with_rel(x.clone());
+        let tp = find_tree_projection(&p.p_of_d(), &goal, 2, 1_000_000)
+            .expect("the two triangles triangulate the ring");
+        (d, x, p, tp, cat)
+    }
+
+    #[test]
+    fn theorem_6_1_ring_is_solved() {
+        let (d, x, p, tp, _) = ring_setup();
+        let q = JoinQuery::new(d.clone(), x.clone());
+        let mut rng = StdRng::seed_from_u64(51);
+        for round in 0..10 {
+            let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 30, 3);
+            let state = DbState::from_universal(&i, &d);
+            assert_eq!(
+                solve_with_tree_projection(&p, &tp, &state, &x),
+                q.eval(&state),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn semijoin_budget_respected() {
+        // Theorem 6.1 allows ≤ 2·|D| semijoins; the full reducer uses
+        // 2·(|D″|−1).
+        let (_, _, _, tp, _) = ring_setup();
+        assert!(2 * (tp.schema.len() - 1) <= 2 * 4);
+    }
+
+    #[test]
+    fn frozen_instance_agrees_too() {
+        let (d, x, p, tp, _) = ring_setup();
+        let q = JoinQuery::new(d.clone(), x.clone());
+        let frozen = gyo_tableau::Tableau::standard(&d, &x).freeze();
+        let i = Relation::new(frozen.attrs, frozen.tuples);
+        let state = DbState::from_universal(&i, &d);
+        assert_eq!(solve_with_tree_projection(&p, &tp, &state, &x), q.eval(&state));
+    }
+
+    #[test]
+    fn works_when_projection_member_hosted_on_base_relation() {
+        // Tree schema: the TP can be D itself, hosts = identity.
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, cd", &mut cat);
+        // X must fit inside one materialized relation for a TP w.r.t.
+        // CC ∪ (X) to exist; the identity program materializes nothing, so
+        // pick a target inside one base relation.
+        let x = AttrSet::parse("b", &mut cat).unwrap();
+        let p = Program::new(d.clone());
+        let goal = canonical_connection(&d, &x).with_rel(x.clone());
+        let tp = find_tree_projection(&p.p_of_d(), &goal, 2, 100_000).expect("tree");
+        let q = JoinQuery::new(d.clone(), x.clone());
+        let mut rng = StdRng::seed_from_u64(53);
+        let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 25, 3);
+        let state = DbState::from_universal(&i, &d);
+        assert_eq!(solve_with_tree_projection(&p, &tp, &state, &x), q.eval(&state));
+    }
+
+    #[test]
+    fn theorem_6_3_contrapositive_no_tp_means_not_solving() {
+        // P = identity program extended with a single partial join on the
+        // ring: P(D) admits no TP w.r.t. (CC ∪ X)… and indeed P (joining
+        // everything it built) fails on some instance.
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, cd, da", &mut cat);
+        let x = AttrSet::parse("ac", &mut cat).unwrap();
+        let mut p = Program::new(d.clone());
+        let j = p.join(0, 1); // abc only
+        p.project(j, x.clone());
+        let cc = canonical_connection(&d, &x);
+        let goal = cc.with_rel(x.clone());
+        assert!(
+            find_tree_projection(&p.p_of_d(), &goal, 2, 1_000_000).is_none(),
+            "one triangle does not triangulate the ring"
+        );
+        let q = JoinQuery::new(d.clone(), x);
+        let mut rng = StdRng::seed_from_u64(54);
+        assert!(
+            p.find_counterexample(&q, &mut rng, 50, 30, 3).is_some(),
+            "Theorem 6.3: without a tree projection P cannot solve (D, X)"
+        );
+    }
+}

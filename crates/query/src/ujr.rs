@@ -1,0 +1,253 @@
+//! Ultra join reduction (§5.1, following Goodman & Shmueli \[11\]).
+//!
+//! A database state `D` for schema `D` is **UJR** if, for every
+//! minimum-size qual graph `G` for `D` and every connected subgraph of `G`
+//! with nodes `r₁,…,rₖ` (relation schemas `R₁,…,Rₖ`), the sub-join equals
+//! the projection of the global join:
+//!
+//! ```text
+//! ⋈ᵢ Rᵢ  =  π_{U(R₁…Rₖ)} ( ⋈_{R∈D} R ).
+//! ```
+//!
+//! The paper interprets \[11\]'s results through Corollary 5.2:
+//!
+//! * for **tree** schemas, every UR database is UJR — a minimum-size qual
+//!   graph is a qual tree, its connected subgraphs are subtrees, and
+//!   subtrees have lossless joins;
+//! * for **cyclic** schemas the converse fails: some UR database is not
+//!   UJR, because a connected subgraph of a minimal qual graph need not
+//!   satisfy `CC(D, U(D')) ⊆ D'`.
+//!
+//! Minimum-size qual graphs are found by exhaustive edge-subset search
+//! (small schemas only — the enumeration is exponential by nature).
+
+use gyo_relation::DbState;
+use gyo_schema::{DbSchema, QualGraph};
+
+/// All qual graphs for `d` with the minimum possible number of edges.
+///
+/// For a tree schema the result is exactly the set of qual trees (possibly
+/// fewer edges if `d` has disconnected components). Enumeration is over all
+/// edge subsets of the complete graph in increasing size.
+///
+/// # Panics
+///
+/// Panics if `d.len() > 6` (the enumeration is `2^(n(n−1)/2)`).
+pub fn minimum_qual_graphs(d: &DbSchema) -> Vec<QualGraph> {
+    let n = d.len();
+    assert!(n <= 6, "minimum qual graph enumeration limited to ≤ 6 relations");
+    if n == 0 {
+        return vec![QualGraph::new(0, [])];
+    }
+    let all_edges: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let m = all_edges.len();
+    for size in 0..=m {
+        let mut found = Vec::new();
+        for mask in 0u64..(1 << m) {
+            if mask.count_ones() as usize != size {
+                continue;
+            }
+            let edges = all_edges
+                .iter()
+                .enumerate()
+                .filter(|(b, _)| mask >> b & 1 == 1)
+                .map(|(_, &e)| e);
+            let g = QualGraph::new(n, edges);
+            if g.is_valid_for(d) {
+                found.push(g);
+            }
+        }
+        if !found.is_empty() {
+            return found;
+        }
+    }
+    unreachable!("the complete graph is always a qual graph")
+}
+
+/// The node subsets of `g` that induce connected subgraphs with at least
+/// two nodes (singletons are trivially UJR).
+fn connected_subsets(g: &QualGraph) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    let adj = g.adjacency();
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let nodes: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+        if nodes.len() < 2 {
+            continue;
+        }
+        // BFS within the induced subgraph.
+        let mut seen = vec![false; n];
+        let mut stack = vec![nodes[0]];
+        seen[nodes[0]] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if mask >> w & 1 == 1 && !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        if count == nodes.len() {
+            out.push(nodes);
+        }
+    }
+    out
+}
+
+/// A witness that a state is not UJR: the offending qual graph, the
+/// connected node subset, and the sizes of the two sides.
+#[derive(Clone, Debug)]
+pub struct UjrViolation {
+    /// The minimum-size qual graph exhibiting the violation.
+    pub graph: QualGraph,
+    /// The connected node subset whose sub-join is lossy.
+    pub nodes: Vec<usize>,
+    /// `|⋈ᵢ Rᵢ|` — the sub-join size.
+    pub subjoin_size: usize,
+    /// `|π(⋈ D)|` — the projected-global-join size (always ≤ the above).
+    pub projection_size: usize,
+}
+
+/// Checks the UJR property of a state, returning the first violation found
+/// (or `None` if the state is UJR).
+///
+/// # Panics
+///
+/// Panics if `d.len() > 6` (see [`minimum_qual_graphs`]).
+pub fn check_ujr(d: &DbSchema, state: &DbState) -> Option<UjrViolation> {
+    let global = state.join_all();
+    for g in minimum_qual_graphs(d) {
+        for nodes in connected_subsets(&g) {
+            let mut sub = gyo_relation::Relation::identity();
+            for &i in &nodes {
+                sub = sub.natural_join(state.rel(i));
+            }
+            let projected = if global.is_empty() {
+                gyo_relation::Relation::empty(sub.attrs().clone())
+            } else {
+                global.project(sub.attrs())
+            };
+            if sub != projected {
+                return Some(UjrViolation {
+                    nodes,
+                    subjoin_size: sub.len(),
+                    projection_size: projected.len(),
+                    graph: g,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Whether the state is UJR.
+pub fn is_ujr(d: &DbSchema, state: &DbState) -> bool {
+    check_ujr(d, state).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_reduce::is_tree_schema;
+    use gyo_relation::Relation;
+    use gyo_schema::Catalog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db(s: &str, cat: &mut Catalog) -> DbSchema {
+        DbSchema::parse(s, cat).unwrap()
+    }
+
+    #[test]
+    fn minimum_qual_graph_of_tree_schema_is_its_qual_trees() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, cd", &mut cat);
+        let graphs = minimum_qual_graphs(&d);
+        assert_eq!(graphs.len(), 1, "the chain has a unique qual tree");
+        assert!(graphs[0].is_tree());
+    }
+
+    #[test]
+    fn minimum_qual_graph_of_triangle_is_the_triangle() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, ac", &mut cat);
+        let graphs = minimum_qual_graphs(&d);
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(graphs[0].edges().len(), 3, "all three edges are forced");
+    }
+
+    #[test]
+    fn disconnected_schema_minimum_graph_has_no_edges() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, cd", &mut cat);
+        let graphs = minimum_qual_graphs(&d);
+        assert!(graphs.iter().any(|g| g.edges().is_empty()));
+    }
+
+    #[test]
+    fn tree_schema_ur_states_are_ujr() {
+        // [11] via Corollary 5.2: every UR database for a tree schema is
+        // UJR.
+        let mut cat = Catalog::alphabetic();
+        let mut rng = StdRng::seed_from_u64(61);
+        for s in ["ab, bc, cd", "abc, cde, ace", "ab, ac, ad"] {
+            let d = db(s, &mut cat);
+            assert!(is_tree_schema(&d));
+            for round in 0..5 {
+                let i =
+                    gyo_workloads::random_universal(&mut rng, &d.attributes(), 25, 4);
+                let state = DbState::from_universal(&i, &d);
+                assert!(is_ujr(&d, &state), "case {s}, round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_has_a_non_ujr_ur_state() {
+        // [11]: for every cyclic schema some UR database is not UJR. For
+        // the triangle, the classic 2-tuple instance works: joining any two
+        // edges invents a tuple the third edge forbids.
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, ac", &mut cat);
+        let u = attrs_of("abc", &mut cat);
+        let i = Relation::new(u, vec![vec![0, 0, 1], vec![1, 0, 0]]);
+        let state = DbState::from_universal(&i, &d);
+        let violation = check_ujr(&d, &state).expect("triangle UR state is lossy");
+        assert_eq!(violation.nodes.len(), 2);
+        assert!(violation.subjoin_size > violation.projection_size);
+    }
+
+    fn attrs_of(s: &str, cat: &mut Catalog) -> gyo_schema::AttrSet {
+        gyo_schema::AttrSet::parse(s, cat).unwrap()
+    }
+
+    #[test]
+    fn ring_has_a_non_ujr_ur_state_found_by_sampling() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, cd, da", &mut cat);
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut found = false;
+        for _ in 0..40 {
+            let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 6, 2);
+            let state = DbState::from_universal(&i, &d);
+            if !is_ujr(&d, &state) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "some UR state of the ring must fail UJR");
+    }
+
+    #[test]
+    fn empty_state_is_ujr() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, ac", &mut cat);
+        let i = Relation::empty(attrs_of("abc", &mut cat));
+        let state = DbState::from_universal(&i, &d);
+        assert!(is_ujr(&d, &state));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the query layer: programs, reducers, pruning, and
+//! the containment preorder.
+
+use gyo_query::{
+    full_reduce, full_reducer_program, prune_irrelevant, weakly_contained_semantic, JoinQuery,
+    Program,
+};
+use gyo_relation::DbState;
+use gyo_schema::{AttrSet, DbSchema};
+use gyo_workloads::{random_schema, random_tree_schema, random_universal};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn target_of(d: &DbSchema, k: usize) -> AttrSet {
+    AttrSet::from_iter(d.attributes().iter().take(k.max(1)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Join-everything-then-project programs always solve their query; the
+    /// counterexample search must come up empty.
+    #[test]
+    fn join_all_programs_solve(seed in any::<u64>(), n in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_schema(&mut rng, n, 6, 3);
+        let x = target_of(&d, 2);
+        let q = JoinQuery::new(d.clone(), x.clone());
+        let mut p = Program::new(d.clone());
+        let mut acc = p.join(0, 0); // R₀ ⋈ R₀ = R₀ seeds the accumulator
+        for i in 1..d.len() {
+            acc = p.join(acc, i);
+        }
+        p.project(acc, x.clone());
+        prop_assert!(p.find_counterexample(&q, &mut rng, 10, 15, 4).is_none());
+    }
+
+    /// The full-reducer *program* (§6 statements) reproduces the directly
+    /// computed reduced states, node for node.
+    #[test]
+    fn reducer_program_matches_direct_reduction(seed in any::<u64>(), n in 2usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_tree_schema(&mut rng, n, 2 * n, 0.4);
+        let i = random_universal(&mut rng, &d.attributes(), 20, 4);
+        let state = DbState::from_universal(&i, &d);
+        let p = full_reducer_program(&d).expect("tree schema");
+        prop_assert_eq!(p.len(), 2 * (n - 1), "2(n−1) semijoins");
+        let rels = p.execute(&state);
+        let reduced = full_reduce(&d, &state).expect("tree schema");
+        // The final version of every node appears among the program's
+        // relations; semijoins only shrink, so the *smallest* relation with
+        // a node's schema that contains the reduced state IS the reduced
+        // state.
+        for k in 0..n {
+            let target = reduced.rel(k);
+            let found = rels.iter().enumerate().any(|(r, rel)| {
+                p.schema_of(r) == d.rel(k) && rel == target
+            });
+            prop_assert!(found, "node {} reduced state not produced", k);
+        }
+    }
+
+    /// Semijoin statements only ever shrink states (safety of reducers).
+    #[test]
+    fn semijoin_programs_shrink(seed in any::<u64>(), n in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_tree_schema(&mut rng, n, 2 * n, 0.4);
+        let i = random_universal(&mut rng, &d.attributes(), 15, 3);
+        let state = DbState::from_universal(&i, &d);
+        let p = full_reducer_program(&d).expect("tree schema");
+        let rels = p.execute(&state);
+        for (r, rel) in rels.iter().enumerate().skip(d.len()) {
+            // every created relation has a base ancestor with the same
+            // schema whose state contains it
+            let base = (0..d.len()).find(|&k| d.rel(k) == p.schema_of(r));
+            if let Some(k) = base {
+                prop_assert!(rel.is_subset(state.rel(k)));
+            }
+        }
+    }
+
+    /// CC pruning never changes answers, on random tree schemas with
+    /// arbitrary 1–3 attribute targets.
+    #[test]
+    fn pruning_preserves_answers(seed in any::<u64>(), n in 1usize..7, k in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_tree_schema(&mut rng, n, 2 * n, 0.5);
+        let x = target_of(&d, k);
+        let q = JoinQuery::new(d.clone(), x.clone());
+        let pruned = prune_irrelevant(&d, &x);
+        prop_assert!(pruned.schema.len() <= d.len());
+        let i = random_universal(&mut rng, &d.attributes(), 20, 4);
+        let state = DbState::from_universal(&i, &d);
+        prop_assert_eq!(q.eval(&state), pruned.eval(&d, &state));
+    }
+
+    /// Weak containment is a preorder: reflexive, and transitive across a
+    /// chain of sub-schemas (dropping relations grows the answer).
+    #[test]
+    fn containment_is_a_preorder_on_subschema_chains(seed in any::<u64>(), n in 3usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_schema(&mut rng, n, 6, 3);
+        let x = target_of(&d, 1);
+        // build a chain D ⊇ D₁ ⊇ D₂ by dropping relations not holding X
+        let keep1: Vec<usize> = (0..n).filter(|&i| i != n - 1 || d.rel(i).intersects(&x)).collect();
+        let d1 = d.project_rels(&keep1);
+        if !x.is_subset(&d1.attributes()) { return Ok(()); }
+        let q = JoinQuery::new(d.clone(), x.clone());
+        let q1 = JoinQuery::new(d1, x.clone());
+        prop_assert!(weakly_contained_semantic(&q, &q));
+        // fewer join constraints ⟹ larger answers: Q ⊑ Q₁
+        prop_assert!(weakly_contained_semantic(&q, &q1));
+    }
+}

@@ -1,0 +1,174 @@
+//! Database states: one relation state per relation schema.
+
+use gyo_schema::{AttrSet, DbSchema};
+
+use crate::relation::Relation;
+
+/// A database state for a [`DbSchema`]: the `i`-th relation state belongs to
+/// the `i`-th relation schema (§2 of the paper).
+///
+/// UR (universal-relation) database states are built with
+/// [`DbState::from_universal`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbState {
+    rels: Vec<Relation>,
+}
+
+impl DbState {
+    /// Wraps relation states, checking that each matches its schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts differ or some relation's attribute set differs
+    /// from its schema.
+    pub fn new(schema: &DbSchema, rels: Vec<Relation>) -> Self {
+        assert_eq!(schema.len(), rels.len(), "state/schema length mismatch");
+        for (rs, r) in schema.iter().zip(&rels) {
+            assert_eq!(rs, r.attrs(), "relation state schema mismatch");
+        }
+        Self { rels }
+    }
+
+    /// The UR database `{π_R(I) | R ∈ D}` (§2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some relation schema is not covered by `universal`'s
+    /// attributes.
+    pub fn from_universal(universal: &Relation, schema: &DbSchema) -> Self {
+        let rels = schema.iter().map(|r| universal.project(r)).collect();
+        Self { rels }
+    }
+
+    /// The `i`-th relation state.
+    #[inline]
+    pub fn rel(&self, i: usize) -> &Relation {
+        &self.rels[i]
+    }
+
+    /// Mutable access (used by program executors that reduce states in
+    /// place).
+    #[inline]
+    pub fn rel_mut(&mut self, i: usize) -> &mut Relation {
+        &mut self.rels[i]
+    }
+
+    /// All relation states.
+    #[inline]
+    pub fn rels(&self) -> &[Relation] {
+        &self.rels
+    }
+
+    /// Number of relations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the state holds no relations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// `⋈_{R∈D} R` — joins every relation (left-to-right; the result is
+    /// order-independent). The empty database joins to the identity
+    /// relation `{()}`.
+    pub fn join_all(&self) -> Relation {
+        let mut acc = Relation::identity();
+        for r in &self.rels {
+            acc = acc.natural_join(r);
+        }
+        acc
+    }
+
+    /// Evaluates the natural-join query `(D, X)`: `π_X(⋈_{R∈D} R)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ⊄ U(D)` (for a nonempty join result).
+    pub fn eval_join_query(&self, x: &AttrSet) -> Relation {
+        let joined = self.join_all();
+        if joined.is_empty() {
+            return Relation::empty(x.clone());
+        }
+        joined.project(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_schema::Catalog;
+
+    fn setup() -> (DbSchema, Catalog, Relation) {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+        let u = AttrSet::parse("abc", &mut cat).unwrap();
+        let i = Relation::new(u, vec![vec![1, 10, 100], vec![2, 20, 200], vec![3, 20, 201]]);
+        (d, cat, i)
+    }
+
+    #[test]
+    fn from_universal_projects() {
+        let (d, _, i) = setup();
+        let state = DbState::from_universal(&i, &d);
+        assert_eq!(state.rel(0).len(), 3); // (1,10), (2,20), (3,20)
+        assert_eq!(state.rel(1).len(), 3); // (10,100), (20,200), (20,201)
+    }
+
+    #[test]
+    fn join_all_recovers_more_than_universal() {
+        // The classic fact: I ⊆ ⋈ π_R(I), possibly strictly.
+        let (d, _, i) = setup();
+        let state = DbState::from_universal(&i, &d);
+        let joined = state.join_all();
+        assert!(i.is_subset(&joined));
+        // b=20 pairs with both c=200 and c=201 for BOTH a=2 and a=3:
+        assert_eq!(joined.len(), 5);
+    }
+
+    #[test]
+    fn eval_join_query_projects() {
+        let (d, mut cat, i) = setup();
+        let state = DbState::from_universal(&i, &d);
+        let x = AttrSet::parse("ac", &mut cat).unwrap();
+        let q = state.eval_join_query(&x);
+        assert_eq!(q.attrs(), &x);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn empty_database_state() {
+        let d = DbSchema::empty();
+        let state = DbState::new(&d, vec![]);
+        assert_eq!(state.join_all(), Relation::identity());
+        assert_eq!(state.eval_join_query(&AttrSet::empty()).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn schema_state_mismatch_panics() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab", &mut cat).unwrap();
+        DbState::new(&d, vec![]);
+    }
+
+    #[test]
+    fn empty_relation_empties_the_join() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+        let ab = AttrSet::parse("ab", &mut cat).unwrap();
+        let bc = AttrSet::parse("bc", &mut cat).unwrap();
+        let state = DbState::new(
+            &d,
+            vec![
+                Relation::new(ab, vec![vec![1, 2]]),
+                Relation::empty(bc),
+            ],
+        );
+        assert!(state.join_all().is_empty());
+        let x = AttrSet::parse("a", &mut cat).unwrap();
+        assert!(state.eval_join_query(&x).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! A small in-memory relational engine — the execution substrate for the
+//! paper's queries.
+//!
+//! The paper reasons about *universal relation (UR) databases*: collections
+//! `D = {π_R(I) | R ∈ D}` of projections of a single universal relation `I`,
+//! queried with natural joins (`⋈`), projections (`π_X`) and semijoins
+//! (`⋉`, where `R ⋉ S ≝ π_R(R ⋈ S)`). This crate implements exactly that
+//! algebra:
+//!
+//! * [`Relation`] — a set of tuples over an attribute set, with `⋈`, `π`,
+//!   `⋉`, and set operations;
+//! * [`DbState`] — a database state: one relation per relation schema of a
+//!   [`DbSchema`](gyo_schema::DbSchema);
+//! * [`universal`] — universal relations, the join-of-projections operator
+//!   `m_D` (the chase for join dependencies), and join-dependency
+//!   satisfaction `I ⊨ ⋈D`.
+//!
+//! Values are plain `u64`; the library's semantic oracles only need equality
+//! on values, never arithmetic or ordering semantics.
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod relation;
+pub mod universal;
+
+pub use database::DbState;
+pub use relation::Relation;
+pub use universal::{join_of_projections, satisfies_jd};

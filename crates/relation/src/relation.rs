@@ -1,0 +1,409 @@
+//! Relations (sets of tuples) and the natural-join algebra.
+
+use std::fmt;
+
+use gyo_schema::{AttrId, AttrSet, Catalog, FxHashMap};
+
+/// A relation state: a *set* of tuples over an attribute set.
+///
+/// Column order follows the sorted order of [`AttrSet`] ids; tuples are kept
+/// sorted and deduplicated, so equality is set equality and all operations
+/// are deterministic.
+///
+/// The degenerate relations over the empty attribute set follow standard
+/// convention: `{}` (the empty relation, a join annihilator) and `{()}` (the
+/// single empty tuple, the join identity).
+///
+/// # Examples
+///
+/// ```
+/// use gyo_schema::{AttrSet, Catalog};
+/// use gyo_relation::Relation;
+///
+/// let mut cat = Catalog::alphabetic();
+/// let ab = AttrSet::parse("ab", &mut cat).unwrap();
+/// let bc = AttrSet::parse("bc", &mut cat).unwrap();
+/// let r = Relation::new(ab, vec![vec![1, 10], vec![2, 20]]);
+/// let s = Relation::new(bc, vec![vec![10, 100], vec![30, 300]]);
+/// let j = r.natural_join(&s);
+/// assert_eq!(j.len(), 1); // only b=10 matches
+/// assert_eq!(j.tuples()[0], vec![1, 10, 100]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    attrs: AttrSet,
+    tuples: Vec<Vec<u64>>,
+}
+
+impl Relation {
+    /// Creates a relation, validating arity and normalizing (sort + dedup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tuple's arity differs from `attrs.len()`.
+    pub fn new(attrs: AttrSet, mut tuples: Vec<Vec<u64>>) -> Self {
+        for t in &tuples {
+            assert_eq!(
+                t.len(),
+                attrs.len(),
+                "tuple arity {} does not match schema arity {}",
+                t.len(),
+                attrs.len()
+            );
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        Self { attrs, tuples }
+    }
+
+    /// The empty relation over `attrs` (no tuples).
+    pub fn empty(attrs: AttrSet) -> Self {
+        Self {
+            attrs,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The join identity: the relation over `∅` holding the single empty
+    /// tuple.
+    pub fn identity() -> Self {
+        Self {
+            attrs: AttrSet::empty(),
+            tuples: vec![Vec::new()],
+        }
+    }
+
+    /// The relation's attribute set.
+    #[inline]
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// The normalized (sorted, deduplicated) tuples.
+    #[inline]
+    pub fn tuples(&self) -> &[Vec<u64>] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test (`tuple` in column order).
+    pub fn contains(&self, tuple: &[u64]) -> bool {
+        self.tuples
+            .binary_search_by(|t| t.as_slice().cmp(tuple))
+            .is_ok()
+    }
+
+    /// Positions (column indices) of `attrs` within this relation's columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some attribute is not part of this relation.
+    fn positions_of(&self, attrs: &AttrSet) -> Vec<usize> {
+        attrs
+            .iter()
+            .map(|a| {
+                self.attrs
+                    .as_slice()
+                    .binary_search(&a)
+                    .expect("attribute not in relation schema")
+            })
+            .collect()
+    }
+
+    /// Projection `π_X(self)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ⊄ attrs`; the paper always projects onto subsets.
+    pub fn project(&self, x: &AttrSet) -> Relation {
+        assert!(
+            x.is_subset(&self.attrs),
+            "projection target must be a subset of the relation schema"
+        );
+        if *x == self.attrs {
+            return self.clone();
+        }
+        let pos = self.positions_of(x);
+        let mut tuples: Vec<Vec<u64>> = self
+            .tuples
+            .iter()
+            .map(|t| pos.iter().map(|&p| t[p]).collect())
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation {
+            attrs: x.clone(),
+            tuples,
+        }
+    }
+
+    /// Natural join `self ⋈ other` (a cross product when the schemas are
+    /// disjoint). Hash join on the shared attributes, building on the
+    /// smaller side.
+    pub fn natural_join(&self, other: &Relation) -> Relation {
+        let (build, probe) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let shared = build.attrs.intersect(&probe.attrs);
+        let out_attrs = build.attrs.union(&probe.attrs);
+
+        let build_key = build.positions_of(&shared);
+        let probe_key = probe.positions_of(&shared);
+        // Output columns: for each output attribute, where to copy it from.
+        // Prefer the probe side so probe tuples copy contiguously when the
+        // schemas are disjoint.
+        enum Src {
+            Build(usize),
+            Probe(usize),
+        }
+        let srcs: Vec<Src> = out_attrs
+            .iter()
+            .map(|a| match probe.attrs.as_slice().binary_search(&a) {
+                Ok(p) => Src::Probe(p),
+                Err(_) => Src::Build(
+                    build
+                        .attrs
+                        .as_slice()
+                        .binary_search(&a)
+                        .expect("output attr comes from one side"),
+                ),
+            })
+            .collect();
+
+        let mut table: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
+        for (i, t) in build.tuples.iter().enumerate() {
+            let key: Vec<u64> = build_key.iter().map(|&p| t[p]).collect();
+            table.entry(key).or_default().push(i);
+        }
+
+        let mut tuples = Vec::new();
+        let mut key = Vec::with_capacity(probe_key.len());
+        for pt in &probe.tuples {
+            key.clear();
+            key.extend(probe_key.iter().map(|&p| pt[p]));
+            if let Some(matches) = table.get(&key) {
+                for &bi in matches {
+                    let bt = &build.tuples[bi];
+                    let out: Vec<u64> = srcs
+                        .iter()
+                        .map(|s| match *s {
+                            Src::Build(p) => bt[p],
+                            Src::Probe(p) => pt[p],
+                        })
+                        .collect();
+                    tuples.push(out);
+                }
+            }
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation {
+            attrs: out_attrs,
+            tuples,
+        }
+    }
+
+    /// Natural semijoin `self ⋉ other = π_self(self ⋈ other)`, computed
+    /// directly by filtering (no join materialization).
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let shared = self.attrs.intersect(&other.attrs);
+        let my_key = self.positions_of(&shared);
+        let other_key = other.positions_of(&shared);
+        let mut keys: FxHashMap<Vec<u64>, ()> = FxHashMap::default();
+        for t in &other.tuples {
+            keys.insert(other_key.iter().map(|&p| t[p]).collect(), ());
+        }
+        let tuples: Vec<Vec<u64>> = self
+            .tuples
+            .iter()
+            .filter(|t| {
+                let key: Vec<u64> = my_key.iter().map(|&p| t[p]).collect();
+                keys.contains_key(&key)
+            })
+            .cloned()
+            .collect();
+        // already sorted and unique: filtering preserves both
+        Relation {
+            attrs: self.attrs.clone(),
+            tuples,
+        }
+    }
+
+    /// Set union of two relations over the same attribute set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute sets differ.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.attrs, other.attrs, "union requires equal schemas");
+        let mut tuples = self.tuples.clone();
+        tuples.extend(other.tuples.iter().cloned());
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation {
+            attrs: self.attrs.clone(),
+            tuples,
+        }
+    }
+
+    /// Whether `self ⊆ other` as tuple sets (same attribute set required).
+    pub fn is_subset(&self, other: &Relation) -> bool {
+        assert_eq!(self.attrs, other.attrs, "comparison requires equal schemas");
+        self.tuples.iter().all(|t| other.contains(t))
+    }
+
+    /// Renders a small relation as an ASCII table for diagnostics.
+    pub fn to_table(&self, cat: &Catalog) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let header: Vec<&str> = self.attrs.iter().map(|a| cat.name(a)).collect();
+        writeln!(out, "| {} |", header.join(" | ")).expect("write to string");
+        for t in &self.tuples {
+            let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+            writeln!(out, "| {} |", row.join(" | ")).expect("write to string");
+        }
+        out
+    }
+
+    /// The attribute ids in column order (sorted).
+    pub fn columns(&self) -> &[AttrId] {
+        self.attrs.as_slice()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation({:?}, {} tuples)", self.attrs, self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(raw: &[u32]) -> AttrSet {
+        AttrSet::from_raw(raw)
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        let r = Relation::new(attrs(&[0, 1]), vec![vec![2, 2], vec![1, 1], vec![2, 2]]);
+        assert_eq!(r.tuples(), &[vec![1, 1], vec![2, 2]]);
+        assert!(r.contains(&[2, 2]));
+        assert!(!r.contains(&[3, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Relation::new(attrs(&[0, 1]), vec![vec![1]]);
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let r = Relation::new(attrs(&[0, 1]), vec![vec![1, 10], vec![1, 20], vec![2, 10]]);
+        let p = r.project(&attrs(&[0]));
+        assert_eq!(p.tuples(), &[vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn projection_onto_empty_set() {
+        let r = Relation::new(attrs(&[0]), vec![vec![7]]);
+        let p = r.project(&AttrSet::empty());
+        assert_eq!(p, Relation::identity());
+        let e = Relation::empty(attrs(&[0]));
+        assert!(e.project(&AttrSet::empty()).is_empty());
+    }
+
+    #[test]
+    fn join_on_shared_attribute() {
+        let r = Relation::new(attrs(&[0, 1]), vec![vec![1, 10], vec![2, 20]]);
+        let s = Relation::new(attrs(&[1, 2]), vec![vec![10, 100], vec![10, 101]]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.attrs(), &attrs(&[0, 1, 2]));
+        assert_eq!(j.tuples(), &[vec![1, 10, 100], vec![1, 10, 101]]);
+    }
+
+    #[test]
+    fn join_is_commutative() {
+        let r = Relation::new(attrs(&[0, 1]), vec![vec![1, 10], vec![2, 20], vec![3, 20]]);
+        let s = Relation::new(attrs(&[1, 2]), vec![vec![20, 9], vec![10, 8]]);
+        assert_eq!(r.natural_join(&s), s.natural_join(&r));
+    }
+
+    #[test]
+    fn disjoint_join_is_cross_product() {
+        let r = Relation::new(attrs(&[0]), vec![vec![1], vec![2]]);
+        let s = Relation::new(attrs(&[1]), vec![vec![10], vec![20]]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn join_identities() {
+        let r = Relation::new(attrs(&[0]), vec![vec![1], vec![2]]);
+        assert_eq!(r.natural_join(&Relation::identity()), r);
+        let annihilator = Relation::empty(AttrSet::empty());
+        assert!(r.natural_join(&annihilator).is_empty());
+    }
+
+    #[test]
+    fn self_join_is_idempotent() {
+        let r = Relation::new(attrs(&[0, 1]), vec![vec![1, 10], vec![2, 20]]);
+        assert_eq!(r.natural_join(&r), r);
+    }
+
+    #[test]
+    fn semijoin_filters_left_side() {
+        let r = Relation::new(attrs(&[0, 1]), vec![vec![1, 10], vec![2, 20]]);
+        let s = Relation::new(attrs(&[1, 2]), vec![vec![10, 5]]);
+        let sj = r.semijoin(&s);
+        assert_eq!(sj.attrs(), r.attrs());
+        assert_eq!(sj.tuples(), &[vec![1, 10]]);
+        // definition check: R ⋉ S = π_R(R ⋈ S)
+        assert_eq!(sj, r.natural_join(&s).project(r.attrs()));
+    }
+
+    #[test]
+    fn semijoin_with_disjoint_nonempty_relation_is_identity() {
+        let r = Relation::new(attrs(&[0]), vec![vec![1]]);
+        let s = Relation::new(attrs(&[5]), vec![vec![9]]);
+        assert_eq!(r.semijoin(&s), r);
+        // ... and with an empty disjoint relation it empties out.
+        let nothing = Relation::empty(attrs(&[5]));
+        assert!(r.semijoin(&nothing).is_empty());
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let r = Relation::new(attrs(&[0]), vec![vec![1]]);
+        let s = Relation::new(attrs(&[0]), vec![vec![2]]);
+        let u = r.union(&s);
+        assert_eq!(u.len(), 2);
+        assert!(r.is_subset(&u));
+        assert!(!u.is_subset(&r));
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut cat = Catalog::alphabetic();
+        let ab = AttrSet::parse("ab", &mut cat).unwrap();
+        let r = Relation::new(ab, vec![vec![1, 2]]);
+        let t = r.to_table(&cat);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+    }
+}

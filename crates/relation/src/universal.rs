@@ -1,0 +1,114 @@
+//! Universal relations, join dependencies, and the join-of-projections
+//! closure operator.
+//!
+//! A **join dependency** (jd) `⋈D` holds in a universal relation `I`
+//! (written `I ⊨ ⋈D`) iff `π_{U(D)}(I) = ⋈_{R∈D}(π_R I)` (§5.1; when
+//! `U(D) ⊊ U` this is an *embedded* jd).
+//!
+//! The operator `m_D(I) = ⋈_{R∈D}(π_R I)` is a closure operator on
+//! relations over `U(D)`: it is extensive (`π_{U(D)}I ⊆ m_D(I)`), monotone,
+//! and **idempotent** — `π_R(m_D(I)) = π_R(I)` for every `R ∈ D`, so a
+//! single application produces a relation satisfying `⋈D`. This is the
+//! library's stand-in for "all universal databases": every UR database state
+//! `{π_R I}` is also `{π_R m_D(I)}` for the jd-satisfying universal relation
+//! `m_D(I)`, which makes the paper's weak-equivalence and lossless-join
+//! questions decidable on canonical instances (frozen tableaux) instead of
+//! merely sampled.
+
+use gyo_schema::DbSchema;
+
+use crate::database::DbState;
+use crate::relation::Relation;
+
+/// Computes `m_D(I) = ⋈_{R∈D}(π_R I)` — the join of projections.
+///
+/// # Panics
+///
+/// Panics if `U(D) ⊄ attrs(I)`.
+pub fn join_of_projections(universal: &Relation, d: &DbSchema) -> Relation {
+    DbState::from_universal(universal, d).join_all()
+}
+
+/// Whether `I ⊨ ⋈D`: the (embedded) join dependency test
+/// `π_{U(D)}(I) = ⋈_{R∈D}(π_R I)`.
+///
+/// # Panics
+///
+/// Panics if `U(D) ⊄ attrs(I)`.
+pub fn satisfies_jd(universal: &Relation, d: &DbSchema) -> bool {
+    let lhs = universal.project(&d.attributes());
+    lhs == join_of_projections(universal, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_schema::{AttrSet, Catalog};
+
+    fn mk(universal: &str, rows: Vec<Vec<u64>>, cat: &mut Catalog) -> Relation {
+        let u = AttrSet::parse(universal, cat).unwrap();
+        Relation::new(u, rows)
+    }
+
+    #[test]
+    fn jd_holds_for_product_like_relation() {
+        let mut cat = Catalog::alphabetic();
+        // I = {(a,b,c)} singleton always satisfies every jd over abc.
+        let i = mk("abc", vec![vec![1, 2, 3]], &mut cat);
+        let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+        assert!(satisfies_jd(&i, &d));
+    }
+
+    #[test]
+    fn jd_fails_on_correlated_relation() {
+        let mut cat = Catalog::alphabetic();
+        // Two tuples agreeing on b but differing on a and c: joining the
+        // projections invents the mixed tuples.
+        let i = mk("abc", vec![vec![1, 5, 10], vec![2, 5, 20]], &mut cat);
+        let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+        assert!(!satisfies_jd(&i, &d));
+        let closed = join_of_projections(&i, &d);
+        assert_eq!(closed.len(), 4);
+        assert!(i.is_subset(&closed));
+    }
+
+    #[test]
+    fn m_d_is_idempotent() {
+        let mut cat = Catalog::alphabetic();
+        let i = mk(
+            "abcd",
+            vec![
+                vec![1, 5, 10, 7],
+                vec![2, 5, 20, 7],
+                vec![2, 6, 20, 8],
+                vec![3, 6, 30, 8],
+            ],
+            &mut cat,
+        );
+        for schema in ["ab, bc, cd", "ab, bcd", "abc, bcd", "ad, bc, abd"] {
+            let d = DbSchema::parse(schema, &mut cat).unwrap();
+            let once = join_of_projections(&i, &d);
+            let twice = join_of_projections(&once, &d);
+            assert_eq!(once, twice, "m_D must be idempotent for {schema}");
+            assert!(satisfies_jd(&once, &d), "m_D(I) must satisfy ⋈D for {schema}");
+        }
+    }
+
+    #[test]
+    fn embedded_jd_projects_first() {
+        let mut cat = Catalog::alphabetic();
+        // U = abcd but the jd only covers abc.
+        let i = mk("abcd", vec![vec![1, 2, 3, 4], vec![1, 2, 3, 5]], &mut cat);
+        let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+        assert!(satisfies_jd(&i, &d));
+    }
+
+    #[test]
+    fn empty_universal_relation_satisfies_every_jd() {
+        let mut cat = Catalog::alphabetic();
+        let u = AttrSet::parse("abc", &mut cat).unwrap();
+        let i = Relation::empty(u);
+        let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+        assert!(satisfies_jd(&i, &d));
+    }
+}

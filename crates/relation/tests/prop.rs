@@ -1,0 +1,119 @@
+//! Property tests for the relational algebra: the equational laws the
+//! paper's query rewrites depend on.
+
+use gyo_relation::{join_of_projections, satisfies_jd, DbState, Relation};
+use gyo_schema::{AttrSet, DbSchema};
+use proptest::prelude::*;
+
+const W: usize = 4; // attribute universe 0..W
+
+fn relation(attrs: Vec<u32>) -> impl Strategy<Value = Relation> {
+    let set = AttrSet::from_raw(&attrs);
+    let width = set.len();
+    proptest::collection::vec(proptest::collection::vec(0u64..4, width), 0..12)
+        .prop_map(move |tuples| Relation::new(set.clone(), tuples))
+}
+
+fn any_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(0u32..W as u32, 1..=W)
+        .prop_flat_map(relation)
+}
+
+fn universal() -> impl Strategy<Value = Relation> {
+    relation((0..W as u32).collect())
+}
+
+fn schema() -> impl Strategy<Value = DbSchema> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..W as u32, 1..=W).prop_map(|v| AttrSet::from_raw(&v)),
+        1..4,
+    )
+    .prop_map(DbSchema::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn join_is_commutative(r in any_relation(), s in any_relation()) {
+        prop_assert_eq!(r.natural_join(&s), s.natural_join(&r));
+    }
+
+    #[test]
+    fn join_is_associative(r in any_relation(), s in any_relation(), t in any_relation()) {
+        prop_assert_eq!(
+            r.natural_join(&s).natural_join(&t),
+            r.natural_join(&s.natural_join(&t))
+        );
+    }
+
+    #[test]
+    fn join_is_idempotent(r in any_relation()) {
+        prop_assert_eq!(r.natural_join(&r), r);
+    }
+
+    #[test]
+    fn join_identity_and_annihilator(r in any_relation()) {
+        prop_assert_eq!(r.natural_join(&Relation::identity()), r.clone());
+        let nothing = Relation::empty(AttrSet::empty());
+        prop_assert!(r.natural_join(&nothing).is_empty());
+    }
+
+    #[test]
+    fn semijoin_is_projected_join(r in any_relation(), s in any_relation()) {
+        prop_assert_eq!(r.semijoin(&s), r.natural_join(&s).project(r.attrs()));
+    }
+
+    #[test]
+    fn semijoin_shrinks_and_is_idempotent(r in any_relation(), s in any_relation()) {
+        let sj = r.semijoin(&s);
+        prop_assert!(sj.is_subset(&r));
+        prop_assert_eq!(sj.semijoin(&s), sj);
+    }
+
+    #[test]
+    fn projection_composes(r in universal()) {
+        let outer = AttrSet::from_raw(&[0, 1, 2]);
+        let inner = AttrSet::from_raw(&[0, 2]);
+        prop_assert_eq!(r.project(&outer).project(&inner), r.project(&inner));
+    }
+
+    #[test]
+    fn projection_monotone_under_join(r in any_relation(), s in any_relation()) {
+        // π_R(R ⋈ S) ⊆ R (the join filters, never invents left tuples)
+        let j = r.natural_join(&s).project(r.attrs());
+        prop_assert!(j.is_subset(&r));
+    }
+
+    #[test]
+    fn join_of_projections_is_extensive_and_idempotent(i in universal(), d in schema()) {
+        let closed = join_of_projections(&i, &d);
+        // extensive on the covered attributes
+        prop_assert!(i.project(&d.attributes()).is_subset(&closed));
+        // idempotent
+        prop_assert_eq!(join_of_projections(&closed, &d), closed.clone());
+        // the closure satisfies the jd
+        prop_assert!(satisfies_jd(&closed, &d));
+    }
+
+    #[test]
+    fn ur_state_join_contains_universal(i in universal(), d in schema()) {
+        let state = DbState::from_universal(&i, &d);
+        let joined = state.join_all();
+        prop_assert!(i.project(&d.attributes()).is_subset(&joined));
+    }
+
+    #[test]
+    fn union_laws(a in relation(vec![0, 1]), b in relation(vec![0, 1]), c in relation(vec![0, 1])) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn join_distributes_over_semijoin_reduction(r in any_relation(), s in any_relation()) {
+        // R ⋈ S = (R ⋉ S) ⋈ S — the identity every full reducer rests on.
+        prop_assert_eq!(r.natural_join(&s), r.semijoin(&s).natural_join(&s));
+    }
+}

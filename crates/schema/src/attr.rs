@@ -1,0 +1,158 @@
+//! Interned attribute identifiers and the attribute catalog.
+
+use std::fmt;
+
+use crate::fxhash::FxHashMap;
+
+/// A compact identifier for an attribute (a column name).
+///
+/// Ids are indices into a [`Catalog`]. Using a `u32` keeps [`AttrSet`]s
+/// (sorted id slices) small and cache-friendly; schemas in this library never
+/// approach 2^32 attributes.
+///
+/// [`AttrSet`]: crate::AttrSet
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// An interner mapping attribute names to dense [`AttrId`]s.
+///
+/// The paper writes attributes as single letters (`a`, `b`, `c`, …) and
+/// relation schemas by concatenation (`abc`); the catalog accepts arbitrary
+/// string names so applications are not limited to 26 attributes.
+///
+/// # Examples
+///
+/// ```
+/// use gyo_schema::Catalog;
+///
+/// let mut cat = Catalog::new();
+/// let a = cat.intern("a");
+/// let b = cat.intern("b");
+/// assert_ne!(a, b);
+/// assert_eq!(cat.intern("a"), a); // idempotent
+/// assert_eq!(cat.name(a), "a");
+/// assert_eq!(cat.len(), 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct Catalog {
+    names: Vec<String>,
+    by_name: FxHashMap<String, AttrId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a catalog pre-populated with the 26 single-letter attributes
+    /// `a`–`z`, the convention used throughout the paper's figures.
+    ///
+    /// `a` receives id 0, `b` id 1, and so on.
+    pub fn alphabetic() -> Self {
+        let mut cat = Self::new();
+        for c in b'a'..=b'z' {
+            cat.intern(std::str::from_utf8(&[c]).expect("ascii"));
+        }
+        cat
+    }
+
+    /// Interns `name`, returning its id; repeated calls with the same name
+    /// return the same id.
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = AttrId(u32::try_from(self.names.len()).expect("catalog overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a previously interned name.
+    pub fn lookup(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this catalog.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all interned ids in id order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = AttrId> + '_ {
+        (0..self.names.len() as u32).map(AttrId)
+    }
+}
+
+impl fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Catalog").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut cat = Catalog::new();
+        let x = cat.intern("salary");
+        let y = cat.intern("salary");
+        assert_eq!(x, y);
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut cat = Catalog::new();
+        let ids: Vec<_> = ["p", "q", "r"].iter().map(|n| cat.intern(n)).collect();
+        assert_eq!(ids, vec![AttrId(0), AttrId(1), AttrId(2)]);
+        assert_eq!(cat.ids().collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn alphabetic_catalog_matches_paper_convention() {
+        let cat = Catalog::alphabetic();
+        assert_eq!(cat.len(), 26);
+        assert_eq!(cat.lookup("a"), Some(AttrId(0)));
+        assert_eq!(cat.lookup("z"), Some(AttrId(25)));
+        assert_eq!(cat.name(AttrId(2)), "c");
+    }
+
+    #[test]
+    fn lookup_of_unknown_name_is_none() {
+        let cat = Catalog::new();
+        assert_eq!(cat.lookup("nope"), None);
+        assert!(cat.is_empty());
+    }
+}

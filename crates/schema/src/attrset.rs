@@ -1,0 +1,348 @@
+//! Sorted, duplicate-free attribute sets — the paper's *relation schemas*.
+
+use std::fmt;
+
+use crate::attr::{AttrId, Catalog};
+
+/// A set of attributes, stored as a sorted, duplicate-free `Vec<AttrId>`.
+///
+/// `AttrSet` is the library's representation of a *relation schema* (§2 of
+/// the paper) and of the sacred set `X` in GYO reductions and query targets.
+/// All binary operations run in `O(|self| + |other|)` by merging the sorted
+/// id slices.
+///
+/// # Examples
+///
+/// ```
+/// use gyo_schema::{AttrSet, Catalog};
+///
+/// let mut cat = Catalog::alphabetic();
+/// let abc = AttrSet::parse("abc", &mut cat).unwrap();
+/// let bcd = AttrSet::parse("bcd", &mut cat).unwrap();
+/// assert_eq!(abc.intersect(&bcd).to_notation(&cat), "bc");
+/// assert_eq!(abc.union(&bcd).to_notation(&cat), "abcd");
+/// assert!(abc.intersect(&bcd).is_subset(&abc));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AttrSet {
+    ids: Vec<AttrId>,
+}
+
+impl AttrSet {
+    /// The empty attribute set (the schema `∅`, which GYO reductions of tree
+    /// schemas converge to).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from any iterator of ids; duplicates are removed.
+    /// (Shadows the `FromIterator` method on purpose — same behaviour,
+    /// callable without importing the trait.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        let mut ids: Vec<AttrId> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// Builds a set from a slice of raw `u32` ids (test convenience).
+    pub fn from_raw(raw: &[u32]) -> Self {
+        Self::from_iter(raw.iter().copied().map(AttrId))
+    }
+
+    /// Parses the paper's compact notation: each character is one attribute
+    /// interned in `cat` (e.g. `"abc"` is `{a, b, c}`). Whitespace is
+    /// ignored. See [`crate::parse`] for the richer multi-character syntax.
+    pub fn parse(s: &str, cat: &mut Catalog) -> Result<Self, crate::ParseError> {
+        crate::parse::parse_set(s, cat)
+    }
+
+    /// Number of attributes (the paper's `|R|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test, `O(log n)`.
+    #[inline]
+    pub fn contains(&self, a: AttrId) -> bool {
+        self.ids.binary_search(&a).is_ok()
+    }
+
+    /// Iterates over the ids in ascending order.
+    #[inline]
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = AttrId> + Clone + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// The underlying sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[AttrId] {
+        &self.ids
+    }
+
+    /// Inserts `a`, keeping the order invariant. Returns `true` if inserted.
+    pub fn insert(&mut self, a: AttrId) -> bool {
+        match self.ids.binary_search(&a) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, a);
+                true
+            }
+        }
+    }
+
+    /// Removes `a` if present. Returns `true` if removed.
+    pub fn remove(&mut self, a: AttrId) -> bool {
+        match self.ids.binary_search(&a) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Set union `self ∪ other`.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        merge(&self.ids, &other.ids, &mut out, MergeKind::Union);
+        Self { ids: out }
+    }
+
+    /// Set intersection `self ∩ other`.
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        merge(&self.ids, &other.ids, &mut out, MergeKind::Intersect);
+        Self { ids: out }
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.len());
+        merge(&self.ids, &other.ids, &mut out, MergeKind::Difference);
+        Self { ids: out }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        let mut oi = other.ids.iter();
+        'outer: for &a in &self.ids {
+            for &b in oi.by_ref() {
+                match b.cmp(&a) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether `self ⊂ other` (proper subset).
+    pub fn is_proper_subset(&self, other: &Self) -> bool {
+        self.len() < other.len() && self.is_subset(other)
+    }
+
+    /// Whether the two sets share no attribute.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Whether the two sets share at least one attribute (the paper's
+    /// adjacency notion for *connected* sub-schemas, §5.2).
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Renders the set in the paper's concatenated notation (`"abc"`), or
+    /// `"∅"` when empty. Multi-character attribute names are joined with `.`
+    /// to stay unambiguous.
+    pub fn to_notation(&self, cat: &Catalog) -> String {
+        if self.is_empty() {
+            return "∅".to_owned();
+        }
+        let names: Vec<&str> = self.ids.iter().map(|&a| cat.name(a)).collect();
+        if names.iter().all(|n| n.chars().count() == 1) {
+            names.concat()
+        } else {
+            names.join(".")
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MergeKind {
+    Union,
+    Intersect,
+    Difference,
+}
+
+fn merge(a: &[AttrId], b: &[AttrId], out: &mut Vec<AttrId>, kind: MergeKind) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                if kind != MergeKind::Intersect {
+                    out.push(a[i]);
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if kind == MergeKind::Union {
+                    out.push(b[j]);
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if kind != MergeKind::Difference {
+                    out.push(a[i]);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if kind != MergeKind::Intersect {
+        out.extend_from_slice(&a[i..]);
+    }
+    if kind == MergeKind::Union {
+        out.extend_from_slice(&b[j..]);
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        Self::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = AttrId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, AttrId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied()
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{:?}", a)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(raw: &[u32]) -> AttrSet {
+        AttrSet::from_raw(raw)
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let s = set(&[3, 1, 2, 3, 1]);
+        assert_eq!(s.as_slice(), &[AttrId(1), AttrId(2), AttrId(3)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[2, 3, 4]);
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 4]));
+        assert_eq!(a.intersect(&b), set(&[2, 3]));
+        assert_eq!(a.difference(&b), set(&[1]));
+        assert_eq!(b.difference(&a), set(&[4]));
+    }
+
+    #[test]
+    fn empty_set_identities() {
+        let e = AttrSet::empty();
+        let a = set(&[5, 9]);
+        assert_eq!(e.union(&a), a);
+        assert_eq!(e.intersect(&a), e);
+        assert_eq!(a.difference(&e), a);
+        assert!(e.is_subset(&a));
+        assert!(e.is_subset(&e));
+        assert!(!e.is_proper_subset(&e));
+        assert!(e.is_disjoint(&a));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = set(&[1, 3]);
+        let b = set(&[1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_proper_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(b.is_subset(&b));
+        assert!(!b.is_proper_subset(&b));
+        assert!(!set(&[1, 4]).is_subset(&b));
+    }
+
+    #[test]
+    fn disjointness() {
+        assert!(set(&[1, 3]).is_disjoint(&set(&[2, 4])));
+        assert!(!set(&[1, 3]).is_disjoint(&set(&[3])));
+        assert!(set(&[1, 3]).intersects(&set(&[3, 9])));
+    }
+
+    #[test]
+    fn insert_remove_keep_order() {
+        let mut s = set(&[2, 8]);
+        assert!(s.insert(AttrId(5)));
+        assert!(!s.insert(AttrId(5)));
+        assert_eq!(s.as_slice(), &[AttrId(2), AttrId(5), AttrId(8)]);
+        assert!(s.remove(AttrId(2)));
+        assert!(!s.remove(AttrId(2)));
+        assert_eq!(s.as_slice(), &[AttrId(5), AttrId(8)]);
+    }
+
+    #[test]
+    fn notation_rendering() {
+        let mut cat = Catalog::alphabetic();
+        let s = AttrSet::parse("cab", &mut cat).unwrap();
+        assert_eq!(s.to_notation(&cat), "abc"); // sorted by id
+        assert_eq!(AttrSet::empty().to_notation(&cat), "∅");
+
+        let mut named = Catalog::new();
+        let long = AttrSet::from_iter([named.intern("price"), named.intern("qty")]);
+        assert_eq!(long.to_notation(&named), "price.qty");
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let s = set(&[0, 10, 20, 30]);
+        assert!(s.contains(AttrId(20)));
+        assert!(!s.contains(AttrId(21)));
+    }
+}

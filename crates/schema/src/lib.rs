@@ -1,0 +1,38 @@
+//! Core vocabulary for the GYO library: attributes, attribute sets, relation
+//! schemas, database schemas (hypergraphs), qual graphs and join trees.
+//!
+//! This crate implements Section 2 ("Terminology") and Section 3.1 ("Tree and
+//! Cyclic Schemas") of Goodman, Shmueli & Tay, *GYO Reductions, Canonical
+//! Connections, Tree and Cyclic Schemas, and Tree Projections* (PODS 1983 /
+//! JCSS 29:338–358, 1984):
+//!
+//! * a **relation schema** is a set of attributes ([`AttrSet`]);
+//! * a **database schema** is a *multiset* of relation schemas ([`DbSchema`]);
+//! * a **qual graph** for `D` is an undirected graph over the relation
+//!   schemas of `D` such that for every attribute `A`, the nodes whose
+//!   schemas contain `A` induce a connected subgraph ([`qual::QualGraph`]);
+//! * `D` is a **tree schema** if some qual graph for it is a tree, else it is
+//!   a **cyclic schema** (the decision procedure lives in `gyo-reduce`; this
+//!   crate supplies the spanning-tree machinery in [`qual`]).
+//!
+//! Attribute names are interned in a [`Catalog`]; all set algebra operates on
+//! compact integer ids so that the reduction and tableau engines stay
+//! allocation-light.
+
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod attrset;
+pub mod fxhash;
+pub mod iso;
+pub mod parse;
+pub mod qual;
+pub mod schema;
+
+pub use attr::{AttrId, Catalog};
+pub use attrset::AttrSet;
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use iso::{are_isomorphic, find_isomorphism};
+pub use parse::{parse_db, parse_set, ParseError};
+pub use qual::{JoinTree, QualGraph};
+pub use schema::DbSchema;

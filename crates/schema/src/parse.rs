@@ -1,0 +1,190 @@
+//! Parsing of the paper's compact schema notation.
+//!
+//! The paper (Fig. 1) writes attributes as single letters and relation
+//! schemas by concatenation: the schema `(ab, bc, cd)` has three relation
+//! schemas `{a,b}`, `{b,c}`, `{c,d}`. Two grammars are supported:
+//!
+//! * **compact** — every character of a relation token is one attribute:
+//!   `"ab, bc, cd"` (separators: `,` between relations, whitespace ignored);
+//! * **dotted** — attributes inside a relation token are separated by `.`,
+//!   allowing multi-character names: `"emp.dept, dept.mgr"`.
+//!
+//! A token containing a `.` uses the dotted grammar; otherwise compact.
+
+use std::fmt;
+
+use crate::attr::Catalog;
+use crate::attrset::AttrSet;
+use crate::schema::DbSchema;
+
+/// Error produced by the schema parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input (or one relation token) was empty where content is required.
+    EmptyToken {
+        /// Position of the offending relation token (0-based), if relevant.
+        position: usize,
+    },
+    /// An attribute name was empty (e.g. `"a..b"` in dotted notation).
+    EmptyAttribute {
+        /// The relation token containing the bad attribute.
+        token: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::EmptyToken { position } => {
+                write!(f, "empty relation token at position {position}")
+            }
+            ParseError::EmptyAttribute { token } => {
+                write!(f, "empty attribute name in token {token:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one attribute set.
+///
+/// `"∅"` and `""` (after trimming) denote the empty set, matching the
+/// rendering of [`AttrSet::to_notation`].
+pub fn parse_set(s: &str, cat: &mut Catalog) -> Result<AttrSet, ParseError> {
+    let t = s.trim();
+    if t.is_empty() || t == "∅" {
+        return Ok(AttrSet::empty());
+    }
+    if t.contains('.') {
+        let mut ids = Vec::new();
+        for name in t.split('.') {
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(ParseError::EmptyAttribute { token: t.to_owned() });
+            }
+            ids.push(cat.intern(name));
+        }
+        Ok(AttrSet::from_iter(ids))
+    } else if t.chars().count() > 1 && cat.lookup(t).is_some() {
+        // A multi-character token that is already a known attribute name
+        // denotes that single attribute — this makes `to_notation` output
+        // round-trip for catalogs with multi-character names (e.g. "a0").
+        Ok(AttrSet::from_iter([cat.lookup(t).expect("just checked")]))
+    } else {
+        let mut buf = [0u8; 4];
+        Ok(AttrSet::from_iter(t.chars().filter(|c| !c.is_whitespace()).map(|c| {
+            let name: &str = c.encode_utf8(&mut buf);
+            cat.intern(name)
+        })))
+    }
+}
+
+/// Parses a database schema: relation tokens separated by `,` (or `;`).
+///
+/// ```
+/// use gyo_schema::{parse_db, Catalog};
+///
+/// let mut cat = Catalog::alphabetic();
+/// let d = parse_db("ab, bc, cd", &mut cat).unwrap();
+/// assert_eq!(d.len(), 3);
+/// assert_eq!(d.to_notation(&cat), "(ab, bc, cd)");
+/// ```
+pub fn parse_db(s: &str, cat: &mut Catalog) -> Result<DbSchema, ParseError> {
+    let inner = s.trim().trim_start_matches('(').trim_end_matches(')');
+    let mut rels = Vec::new();
+    for (position, token) in inner.split([',', ';']).enumerate() {
+        let token = token.trim();
+        if token.is_empty() {
+            // Allow a wholly empty input to mean the empty schema, but
+            // reject stray empty tokens like "ab,,cd".
+            if inner.trim().is_empty() {
+                break;
+            }
+            return Err(ParseError::EmptyToken { position });
+        }
+        rels.push(parse_set(token, cat)?);
+    }
+    Ok(DbSchema::new(rels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_set() {
+        let mut cat = Catalog::alphabetic();
+        let s = parse_set("bca", &mut cat).unwrap();
+        assert_eq!(s.to_notation(&cat), "abc");
+    }
+
+    #[test]
+    fn dotted_set_with_long_names() {
+        let mut cat = Catalog::new();
+        let s = parse_set("emp.dept.salary", &mut cat).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(cat.lookup("dept").unwrap()));
+    }
+
+    #[test]
+    fn empty_set_notations() {
+        let mut cat = Catalog::new();
+        assert!(parse_set("", &mut cat).unwrap().is_empty());
+        assert!(parse_set("∅", &mut cat).unwrap().is_empty());
+        assert!(parse_set("  ", &mut cat).unwrap().is_empty());
+    }
+
+    #[test]
+    fn db_with_parens_and_semicolons() {
+        let mut cat = Catalog::alphabetic();
+        let d1 = parse_db("(ab, bc, ca)", &mut cat).unwrap();
+        let d2 = parse_db("ab; bc; ca", &mut cat).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(d1.len(), 3);
+    }
+
+    #[test]
+    fn db_rejects_stray_empty_token() {
+        let mut cat = Catalog::alphabetic();
+        let err = parse_db("ab,,cd", &mut cat).unwrap_err();
+        assert_eq!(err, ParseError::EmptyToken { position: 1 });
+    }
+
+    #[test]
+    fn dotted_rejects_empty_attribute() {
+        let mut cat = Catalog::new();
+        assert!(matches!(
+            parse_set("a..b", &mut cat),
+            Err(ParseError::EmptyAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_db() {
+        let mut cat = Catalog::new();
+        let d = parse_db("", &mut cat).unwrap();
+        assert!(d.is_empty());
+        let d = parse_db("()", &mut cat).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn known_multichar_name_parses_as_single_attribute() {
+        let mut cat = Catalog::new();
+        let a0 = cat.intern("a0");
+        let s = parse_set("a0", &mut cat).unwrap();
+        assert_eq!(s.as_slice(), &[a0]);
+        // unknown multi-char tokens still parse per character
+        let mut alpha = Catalog::alphabetic();
+        let ab = parse_set("ab", &mut alpha).unwrap();
+        assert_eq!(ab.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_inside_compact_token_is_ignored() {
+        let mut cat = Catalog::alphabetic();
+        let s = parse_set("a b", &mut cat).unwrap();
+        assert_eq!(s.to_notation(&cat), "ab");
+    }
+}

@@ -1,0 +1,452 @@
+//! Database schemas: multisets of relation schemas (hypergraphs).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::attr::{AttrId, Catalog};
+use crate::attrset::AttrSet;
+use crate::fxhash::FxHashMap;
+
+/// A database schema `D = (R₁, …, Rₙ)` — a finite *multiset* of relation
+/// schemas (§2 of the paper). Viewed as a hypergraph: attributes are
+/// vertices, relation schemas are hyperedges.
+///
+/// The multiset order is preserved (two equal relation schemas are distinct
+/// qual-graph nodes), but [`PartialEq`]/[`Hash`] implement **multiset
+/// equality**: `(ab, bc)` equals `(bc, ab)`.
+///
+/// # Examples
+///
+/// ```
+/// use gyo_schema::{Catalog, DbSchema};
+///
+/// let mut cat = Catalog::alphabetic();
+/// let d = DbSchema::parse("abc, ab, bc", &mut cat).unwrap();
+/// assert_eq!(d.attributes().to_notation(&cat), "abc");
+/// assert!(!d.is_reduced()); // ab ⊆ abc
+/// assert_eq!(d.reduce().to_notation(&cat), "(abc)");
+/// ```
+#[derive(Clone, Default)]
+pub struct DbSchema {
+    rels: Vec<AttrSet>,
+}
+
+impl DbSchema {
+    /// Creates a schema from relation schemas, preserving multiset order.
+    pub fn new(rels: Vec<AttrSet>) -> Self {
+        Self { rels }
+    }
+
+    /// The empty database schema.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Parses the paper's notation; see [`crate::parse::parse_db`].
+    pub fn parse(s: &str, cat: &mut Catalog) -> Result<Self, crate::ParseError> {
+        crate::parse::parse_db(s, cat)
+    }
+
+    /// Number of relation schemas, counting multiplicity (the paper's `|D|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the schema has no relation schemas.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// The `i`-th relation schema.
+    #[inline]
+    pub fn rel(&self, i: usize) -> &AttrSet {
+        &self.rels[i]
+    }
+
+    /// All relation schemas, in multiset order.
+    #[inline]
+    pub fn rels(&self) -> &[AttrSet] {
+        &self.rels
+    }
+
+    /// Iterates over the relation schemas.
+    pub fn iter(&self) -> std::slice::Iter<'_, AttrSet> {
+        self.rels.iter()
+    }
+
+    /// Appends a relation schema (mutating `D` into `D ∪ (R)`).
+    pub fn push(&mut self, r: AttrSet) {
+        self.rels.push(r);
+    }
+
+    /// Returns `D ∪ (R)` without mutating `self`.
+    pub fn with_rel(&self, r: AttrSet) -> Self {
+        let mut rels = Vec::with_capacity(self.rels.len() + 1);
+        rels.extend_from_slice(&self.rels);
+        rels.push(r);
+        Self { rels }
+    }
+
+    /// Multiset union `D ∪ D'`.
+    pub fn concat(&self, other: &Self) -> Self {
+        let mut rels = Vec::with_capacity(self.len() + other.len());
+        rels.extend_from_slice(&self.rels);
+        rels.extend_from_slice(&other.rels);
+        Self { rels }
+    }
+
+    /// `U(D)` — the union of all attributes (§2).
+    pub fn attributes(&self) -> AttrSet {
+        let mut ids: Vec<AttrId> = Vec::new();
+        for r in &self.rels {
+            ids.extend(r.iter());
+        }
+        AttrSet::from_iter(ids)
+    }
+
+    /// Whether some relation schema equals `r` (set equality).
+    pub fn contains_rel(&self, r: &AttrSet) -> bool {
+        self.rels.iter().any(|s| s == r)
+    }
+
+    /// `D` is **reduced** if no relation schema is a subset of another
+    /// *distinct occurrence* (§2). Duplicates therefore make a schema
+    /// non-reduced.
+    pub fn is_reduced(&self) -> bool {
+        for (i, r) in self.rels.iter().enumerate() {
+            for (j, s) in self.rels.iter().enumerate() {
+                if i != j && r.is_subset(s) && (r != s || i > j) {
+                    // For equal sets only one direction counts, otherwise a
+                    // singleton duplicate pair would be "mutually subsumed"
+                    // and both reported; any duplicate means non-reduced.
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The **reduction** of `D` (§2): eliminates every relation schema that
+    /// is a subset of another (keeping one copy of duplicates). The result
+    /// is reduced and `reduce(D) ≤ D ≤ reduce(D)`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn reduce(&self) -> Self {
+        let mut keep = vec![true; self.rels.len()];
+        for i in 0..self.rels.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.rels.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                let (ri, rj) = (&self.rels[i], &self.rels[j]);
+                if rj.is_subset(ri) && (rj != ri || j > i) {
+                    keep[j] = false;
+                }
+            }
+        }
+        Self {
+            rels: self
+                .rels
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(r, _)| r.clone())
+                .collect(),
+        }
+    }
+
+    /// Weak inclusion `self ≤ other` (§2): every `R ∈ self` is contained in
+    /// some `R' ∈ other`.
+    pub fn le(&self, other: &Self) -> bool {
+        self.rels
+            .iter()
+            .all(|r| other.rels.iter().any(|s| r.is_subset(s)))
+    }
+
+    /// Multiset inclusion `self ⊆ other`: every relation schema of `self`
+    /// occurs in `other` with at least the same multiplicity.
+    pub fn sub_multiset(&self, other: &Self) -> bool {
+        let mut counts: FxHashMap<&AttrSet, isize> = FxHashMap::default();
+        for r in &other.rels {
+            *counts.entry(r).or_insert(0) += 1;
+        }
+        for r in &self.rels {
+            let c = counts.entry(r).or_insert(0);
+            *c -= 1;
+            if *c < 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Uniformly deletes the attributes of `x` from every relation schema
+    /// (the operation of Lemma 3.1: `D' = (R − X | R ∈ D)`). Empty results
+    /// are *kept* — eliminating subsets/duplicates is a separate,
+    /// deliberate step ([`reduce`](Self::reduce)).
+    pub fn delete_attrs(&self, x: &AttrSet) -> Self {
+        Self {
+            rels: self.rels.iter().map(|r| r.difference(x)).collect(),
+        }
+    }
+
+    /// Restricts to the relation schemas at `indices` (multiset order kept).
+    pub fn project_rels(&self, indices: &[usize]) -> Self {
+        Self {
+            rels: indices.iter().map(|&i| self.rels[i].clone()).collect(),
+        }
+    }
+
+    /// Partitions the relation-schema indices into connected components of
+    /// the *intersection graph* (two schemas are adjacent iff they share an
+    /// attribute — the paper's connectivity notion, §5.2). Empty relation
+    /// schemas form singleton components. Components are reported in order
+    /// of their smallest index.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.rels.len();
+        // Attribute -> nodes incidence; linking consecutive occurrences
+        // is enough for connectivity and keeps the edge count linear.
+        let mut owner: FxHashMap<AttrId, usize> = FxHashMap::default();
+        let mut dsu = Dsu::new(n);
+        for (i, r) in self.rels.iter().enumerate() {
+            for a in r.iter() {
+                match owner.get(&a) {
+                    Some(&j) => {
+                        dsu.union(i, j);
+                    }
+                    None => {
+                        owner.insert(a, i);
+                    }
+                }
+            }
+        }
+        let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+        for i in 0..n {
+            groups.entry(dsu.find(i)).or_default().push(i);
+        }
+        let mut comps: Vec<Vec<usize>> = groups.into_values().collect();
+        comps.sort_by_key(|c| c[0]);
+        comps
+    }
+
+    /// Whether `D` is connected (§5.2): every pair of relation schemas is
+    /// linked by a path of pairwise-intersecting schemas. The empty schema
+    /// and singleton schemas are connected.
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// A canonical (sorted) copy used for multiset comparison and hashing.
+    fn sorted_rels(&self) -> Vec<&AttrSet> {
+        let mut v: Vec<&AttrSet> = self.rels.iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Renders the schema in the paper's notation, e.g. `"(ab, bc, cd)"`.
+    pub fn to_notation(&self, cat: &Catalog) -> String {
+        let mut out = String::from("(");
+        for (i, r) in self.rels.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&r.to_notation(cat));
+        }
+        out.push(')');
+        out
+    }
+}
+
+impl PartialEq for DbSchema {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.sorted_rels() == other.sorted_rels()
+    }
+}
+
+impl Eq for DbSchema {}
+
+impl Hash for DbSchema {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for r in self.sorted_rels() {
+            r.hash(state);
+        }
+    }
+}
+
+impl FromIterator<AttrSet> for DbSchema {
+    fn from_iter<I: IntoIterator<Item = AttrSet>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for DbSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, r) in self.rels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{:?}", r)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Disjoint-set union with path halving and union by size.
+struct Dsu {
+    parent: Vec<usize>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(s: &str) -> (DbSchema, Catalog) {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse(s, &mut cat).unwrap();
+        (d, cat)
+    }
+
+    #[test]
+    fn attributes_is_union() {
+        let (d, cat) = db("ab, bc, cd");
+        assert_eq!(d.attributes().to_notation(&cat), "abcd");
+    }
+
+    #[test]
+    fn multiset_equality_ignores_order() {
+        let (d1, _) = db("ab, bc");
+        let (d2, _) = db("bc, ab");
+        assert_eq!(d1, d2);
+        let (d3, _) = db("ab, ab");
+        assert_ne!(d1, d3);
+        assert_ne!(db("ab").0, d3); // multiplicities matter
+    }
+
+    #[test]
+    fn reduced_and_reduce() {
+        let (d, cat) = db("abc, ab, bc, abc");
+        assert!(!d.is_reduced());
+        let r = d.reduce();
+        assert_eq!(r.to_notation(&cat), "(abc)");
+        assert!(r.is_reduced());
+
+        let (tidy, _) = db("ab, bc, cd");
+        assert!(tidy.is_reduced());
+        assert_eq!(tidy.reduce(), tidy);
+    }
+
+    #[test]
+    fn reduce_keeps_one_copy_of_duplicates() {
+        let (d, _) = db("ab, ab, ab");
+        assert_eq!(d.reduce().len(), 1);
+    }
+
+    #[test]
+    fn weak_inclusion() {
+        let (d, _) = db("ab, bc");
+        let (bigger, _) = db("abc, bcd");
+        assert!(d.le(&bigger));
+        assert!(!bigger.le(&d));
+        assert!(DbSchema::empty().le(&d));
+        assert!(d.le(&d));
+    }
+
+    #[test]
+    fn multiset_inclusion() {
+        let (d, _) = db("ab, ab, bc");
+        let (sub, _) = db("ab, bc");
+        let (sub2, _) = db("ab, ab");
+        let (not_sub, _) = db("ab, ab, ab");
+        assert!(sub.sub_multiset(&d));
+        assert!(sub2.sub_multiset(&d));
+        assert!(!not_sub.sub_multiset(&d));
+        assert!(DbSchema::empty().sub_multiset(&d));
+    }
+
+    #[test]
+    fn delete_attrs_keeps_empty_rels() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab, b", &mut cat).unwrap();
+        let x = AttrSet::parse("ab", &mut cat).unwrap();
+        let deleted = d.delete_attrs(&x);
+        assert_eq!(deleted.len(), 2);
+        assert!(deleted.rel(0).is_empty());
+        assert!(deleted.rel(1).is_empty());
+    }
+
+    #[test]
+    fn connected_components_via_shared_attributes() {
+        let (d, _) = db("ab, bc, de, ef, gh");
+        let comps = d.connected_components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert!(!d.is_connected());
+        assert!(db("ab, bc, ca").0.is_connected());
+        assert!(DbSchema::empty().is_connected());
+    }
+
+    #[test]
+    fn empty_relation_schemas_are_isolated() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::new(vec![
+            AttrSet::parse("ab", &mut cat).unwrap(),
+            AttrSet::empty(),
+            AttrSet::parse("bc", &mut cat).unwrap(),
+        ]);
+        let comps = d.connected_components();
+        assert_eq!(comps, vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn with_rel_and_concat() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab", &mut cat).unwrap();
+        let r = AttrSet::parse("cd", &mut cat).unwrap();
+        let d2 = d.with_rel(r.clone());
+        assert_eq!(d2.len(), 2);
+        assert!(d2.contains_rel(&r));
+        let d3 = d.concat(&d2);
+        assert_eq!(d3.len(), 3);
+    }
+
+    #[test]
+    fn project_rels_preserves_order() {
+        let (d, cat) = db("ab, bc, cd");
+        let p = d.project_rels(&[2, 0]);
+        assert_eq!(p.to_notation(&cat), "(cd, ab)");
+    }
+}

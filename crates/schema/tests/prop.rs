@@ -1,0 +1,159 @@
+//! Property tests for the set algebra and schema combinators — the laws
+//! every proof in the paper silently uses.
+
+use gyo_schema::{AttrId, AttrSet, DbSchema, QualGraph};
+use proptest::prelude::*;
+
+fn attr_set() -> impl Strategy<Value = AttrSet> {
+    proptest::collection::vec(0u32..12, 0..8).prop_map(|v| AttrSet::from_raw(&v))
+}
+
+fn schema() -> impl Strategy<Value = DbSchema> {
+    proptest::collection::vec(attr_set(), 0..6).prop_map(DbSchema::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn union_is_commutative_associative_idempotent(a in attr_set(), b in attr_set(), c in attr_set()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn intersection_laws(a in attr_set(), b in attr_set(), c in attr_set()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.intersect(&b).intersect(&c), a.intersect(&b.intersect(&c)));
+        prop_assert_eq!(a.intersect(&a), a.clone());
+        // absorption
+        prop_assert_eq!(a.union(&a.intersect(&b)), a.clone());
+        prop_assert_eq!(a.intersect(&a.union(&b)), a);
+    }
+
+    #[test]
+    fn difference_laws(a in attr_set(), b in attr_set()) {
+        let diff = a.difference(&b);
+        prop_assert!(diff.is_subset(&a));
+        prop_assert!(diff.is_disjoint(&b));
+        prop_assert_eq!(diff.union(&a.intersect(&b)), a);
+    }
+
+    #[test]
+    fn subset_is_a_partial_order(a in attr_set(), b in attr_set(), c in attr_set()) {
+        prop_assert!(a.is_subset(&a));
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.is_subset(&b) && b.is_subset(&c) {
+            prop_assert!(a.is_subset(&c));
+        }
+    }
+
+    #[test]
+    fn membership_matches_iteration(a in attr_set()) {
+        for id in a.iter() {
+            prop_assert!(a.contains(id));
+        }
+        prop_assert!(!a.contains(AttrId(999)));
+        prop_assert_eq!(a.iter().count(), a.len());
+    }
+
+    #[test]
+    fn disjoint_iff_empty_intersection(a in attr_set(), b in attr_set()) {
+        prop_assert_eq!(a.is_disjoint(&b), a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn reduce_is_idempotent_and_le_equivalent(d in schema()) {
+        let r = d.reduce();
+        prop_assert!(r.is_reduced());
+        prop_assert_eq!(r.reduce(), r.clone());
+        // D and reduce(D) weakly include each other
+        prop_assert!(r.le(&d));
+        prop_assert!(d.le(&r));
+        prop_assert_eq!(r.attributes(), d.attributes());
+    }
+
+    #[test]
+    fn le_is_reflexive_transitive(d in schema(), e in schema()) {
+        prop_assert!(d.le(&d));
+        if d.le(&e) {
+            // weak inclusion is preserved by reduction of the right side
+            prop_assert!(d.le(&e.reduce()) || !e.reduce().is_reduced());
+        }
+    }
+
+    #[test]
+    fn sub_multiset_implies_le(d in schema()) {
+        let n = d.len();
+        if n == 0 { return Ok(()); }
+        // any projection of indices is a sub-multiset and hence ≤ d
+        let half: Vec<usize> = (0..n).step_by(2).collect();
+        let sub = d.project_rels(&half);
+        prop_assert!(sub.sub_multiset(&d));
+        prop_assert!(sub.le(&d));
+    }
+
+    #[test]
+    fn connected_components_partition_the_nodes(d in schema()) {
+        let comps = d.connected_components();
+        let mut seen = vec![false; d.len()];
+        for comp in &comps {
+            for &i in comp {
+                prop_assert!(!seen[i], "node {} in two components", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|x| x));
+        // nodes in different components never share attributes
+        for (a, ca) in comps.iter().enumerate() {
+            for cb in comps.iter().skip(a + 1) {
+                for &i in ca {
+                    for &j in cb {
+                        prop_assert!(d.rel(i).is_disjoint(d.rel(j)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiset_equality_is_order_invariant(d in schema()) {
+        let mut rels: Vec<AttrSet> = d.iter().cloned().collect();
+        rels.reverse();
+        let e = DbSchema::new(rels);
+        prop_assert_eq!(&d, &e);
+    }
+
+    #[test]
+    fn complete_graph_is_always_a_qual_graph(d in schema()) {
+        let n = d.len();
+        if n == 0 { return Ok(()); }
+        let edges: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
+        let g = QualGraph::new(n, edges);
+        prop_assert!(g.is_valid_for(&d));
+    }
+
+    #[test]
+    fn notation_round_trips(d in schema()) {
+        // render with a catalog naming a0..a11, reparse, compare
+        let mut cat = gyo_schema::Catalog::new();
+        for i in 0..12 {
+            cat.intern(&format!("a{i}"));
+        }
+        let text = d.to_notation(&cat);
+        let mut cat2 = cat.clone();
+        let back = DbSchema::parse(&text, &mut cat2).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn delete_attrs_then_attributes_is_difference(d in schema(), x in attr_set()) {
+        let deleted = d.delete_attrs(&x);
+        prop_assert_eq!(deleted.attributes(), d.attributes().difference(&x));
+        prop_assert_eq!(deleted.len(), d.len());
+    }
+}

@@ -1,0 +1,215 @@
+//! Canonical schemas `CS(D, X)` and canonical connections `CC(D, X)`
+//! (§3.4), with the Theorem 3.3 fast paths.
+//!
+//! Given any tableau `T` for `(D, X)`, the **canonical schema** takes, per
+//! row `rᵢ`, the attribute set
+//! `Rᵢ = { A | (i,A) is distinguished, or (i,A) repeats in another row }`
+//! and reduces the resulting schema. The **canonical connection**
+//! `CC(D, X)` is the canonical schema of a *minimal* tableau for `(D, X)` —
+//! well-defined because minimal tableaux are unique up to isomorphism
+//! (Lemmas 3.3–3.4).
+//!
+//! Theorem 3.3 relates `CC` to GYO reductions:
+//!
+//! * (i) `CC(D, X) ≤ GR(D, X)` always;
+//! * (ii) if `D` is a tree schema, `CC(D, X) = GR(D, X)`;
+//! * (iii) if `U(GR(D, X)) ⊆ X`, then `CC(D, X) = GR(D, X)`.
+//!
+//! [`canonical_connection`] exploits (ii)/(iii) as fast paths and falls back
+//! to tableau minimization; [`cc_via_minimization`] always minimizes, so the
+//! two can be cross-checked.
+
+use gyo_reduce::{gyo_reduce, is_tree_schema};
+use gyo_schema::{AttrSet, DbSchema};
+
+use crate::minimize::minimize;
+use crate::symbol::Symbol;
+use crate::tableau::Tableau;
+
+/// The canonical schema `CS(T)` of a tableau: per-row distinguished or
+/// repeated attributes, reduced.
+pub fn canonical_schema(t: &Tableau) -> DbSchema {
+    let counts = t.occurrence_counts();
+    let rels: Vec<AttrSet> = t
+        .rows()
+        .iter()
+        .map(|row| {
+            AttrSet::from_iter(t.attrs().iter().zip(row.iter()).filter_map(|(a, &s)| {
+                let keep = match s {
+                    Symbol::Distinguished(_) => true,
+                    Symbol::Shared(_) | Symbol::Unique(_) => counts[&s] >= 2,
+                };
+                keep.then_some(a)
+            }))
+        })
+        .collect();
+    DbSchema::new(rels).reduce()
+}
+
+/// `CC(D, X)` via explicit tableau minimization (the definition).
+///
+/// # Panics
+///
+/// Panics if `X ⊄ U(D)`.
+pub fn cc_via_minimization(d: &DbSchema, x: &AttrSet) -> DbSchema {
+    let t = Tableau::standard(d, x);
+    canonical_schema(&minimize(&t).tableau)
+}
+
+/// `CC(D, X)`, using the Theorem 3.3 fast paths where they apply:
+///
+/// * `D` a tree schema ⟹ `CC(D, X) = GR(D, X)` (Thm 3.3(ii));
+/// * `U(GR(D, X)) ⊆ X` ⟹ `CC(D, X) = GR(D, X)` (Thm 3.3(iii));
+/// * otherwise tableau minimization.
+///
+/// # Panics
+///
+/// Panics if `X ⊄ U(D)`.
+pub fn canonical_connection(d: &DbSchema, x: &AttrSet) -> DbSchema {
+    assert!(
+        x.is_subset(&d.attributes()),
+        "target X must be a subset of U(D)"
+    );
+    let red = gyo_reduce(d, x);
+    if is_tree_schema(d) || red.result.attributes().is_subset(x) {
+        return normalize_gr(red.result);
+    }
+    cc_via_minimization(d, x)
+}
+
+/// `GR(D, X)` of a tree schema can be the degenerate `(∅)` (when `X = ∅`);
+/// `CC` of the corresponding tableau is the reduction of per-row attribute
+/// sets, which for a single all-unique row is also `(∅)`. No change is
+/// needed beyond reduction — kept as a named function to document the
+/// boundary.
+fn normalize_gr(g: DbSchema) -> DbSchema {
+    g.reduce()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_schema::Catalog;
+
+    fn setup(schema: &str, x: &str) -> (DbSchema, AttrSet, Catalog) {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse(schema, &mut cat).unwrap();
+        let xs = AttrSet::parse(x, &mut cat).unwrap();
+        (d, xs, cat)
+    }
+
+    #[test]
+    fn section6_example_cc() {
+        // §6: D = (abg, bcg, acf, ad, de, ea), X = abc ⟹
+        // CC(D, X) = (abg, bcg, ac).
+        let (d, x, mut cat) = setup("abg, bcg, acf, ad, de, ea", "abc");
+        let cc = canonical_connection(&d, &x);
+        let expected = DbSchema::parse("abg, bcg, ac", &mut cat).unwrap();
+        assert_eq!(cc, expected);
+        assert_eq!(cc_via_minimization(&d, &x), expected);
+    }
+
+    #[test]
+    fn tree_schema_fast_path_agrees_with_minimization() {
+        for (s, xs) in [
+            ("ab, bc, cd", "ad"),
+            ("ab, bc, cd", "a"),
+            ("abc, cde, ace, afe", "af"),
+            ("abc, ab, bc", "abc"),
+            ("ab, cd", "ac"),
+        ] {
+            let (d, x, _) = setup(s, xs);
+            assert!(is_tree_schema(&d), "{s}");
+            assert_eq!(
+                canonical_connection(&d, &x),
+                cc_via_minimization(&d, &x),
+                "case ({s}, {xs})"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_schema_cc_equals_whole_ring() {
+        // For an Aring with all attributes in X nothing can be removed.
+        let (d, x, _) = setup("ab, bc, cd, da", "abcd");
+        assert_eq!(canonical_connection(&d, &x), d);
+    }
+
+    #[test]
+    fn theorem_3_3_i_cc_le_gr() {
+        for (s, xs) in [
+            ("abg, bcg, acf, ad, de, ea", "abc"),
+            ("ab, bc, cd, da", "ac"),
+            ("abc, cde, ace, afe", "ce"),
+            ("ab, bc, ac", "ab"),
+        ] {
+            let (d, x, _) = setup(s, xs);
+            let cc = canonical_connection(&d, &x);
+            let g = gyo_reduce(&d, &x).result;
+            assert!(cc.le(&g), "CC ≤ GR violated for ({s}, {xs})");
+        }
+    }
+
+    #[test]
+    fn theorem_3_3_iii_u_gr_inside_x() {
+        // Aring, X = everything: U(GR) = abcd ⊆ X, so CC = GR without
+        // minimizing.
+        let (d, x, _) = setup("ab, bc, cd, da", "abcd");
+        let g = gyo_reduce(&d, &x).result;
+        assert!(g.attributes().is_subset(&x));
+        assert_eq!(canonical_connection(&d, &x), g.reduce());
+        assert_eq!(cc_via_minimization(&d, &x), g.reduce());
+    }
+
+    #[test]
+    fn cc_is_reduced() {
+        for (s, xs) in [
+            ("abg, bcg, acf, ad, de, ea", "abc"),
+            ("ab, ab, bc", "b"),
+            ("ab, bc, cd, da", ""),
+        ] {
+            let (d, x, _) = setup(s, xs);
+            assert!(canonical_connection(&d, &x).is_reduced(), "({s}, {xs})");
+        }
+    }
+
+    #[test]
+    fn lemma_3_5_cc_equality_iff_weak_equivalence() {
+        // (D, X) ≡ (D', X) iff CC equal; spot-check with the §6 pruning:
+        // dropping ad, de, ea preserves the query.
+        let (d, x, mut cat) = setup("abg, bcg, acf, ad, de, ea", "abc");
+        let d_pruned = DbSchema::parse("abg, bcg, acf", &mut cat).unwrap();
+        assert_eq!(
+            canonical_connection(&d, &x),
+            canonical_connection(&d_pruned, &x)
+        );
+        // while dropping bcg changes it
+        let d_broken = DbSchema::parse("abg, acf, ad, de, ea", &mut cat).unwrap();
+        assert_ne!(
+            canonical_connection(&d, &x),
+            canonical_connection(&d_broken, &x)
+        );
+    }
+
+    #[test]
+    fn empty_target_on_tree_schema() {
+        let (d, _, _) = setup("ab, bc", "");
+        let cc = canonical_connection(&d, &AttrSet::empty());
+        // GR(D, ∅) = (∅); CS of the 1-row all-unique minimal tableau is (∅).
+        assert_eq!(cc.len(), 1);
+        assert!(cc.rel(0).is_empty());
+        assert_eq!(cc_via_minimization(&d, &AttrSet::empty()), cc);
+    }
+
+    #[test]
+    fn canonical_schema_counts_repeats_not_kinds() {
+        // A shared symbol occurring once (its attribute private to one
+        // relation) is dropped from CS.
+        let (d, x, cat) = setup("abg, bcg, acf", "abc");
+        let t = Tableau::standard(&d, &x);
+        let cs = canonical_schema(&t);
+        // f is private to acf => row acf contributes ac only.
+        let expected = DbSchema::parse("abg, bcg, ac", &mut cat.clone()).unwrap();
+        assert_eq!(cs, expected);
+    }
+}

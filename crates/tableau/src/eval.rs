@@ -1,0 +1,223 @@
+//! Direct tableau evaluation: a tableau *is* a conjunctive query over the
+//! universal relation, and this module runs it as one.
+//!
+//! `evaluate(T, I)` finds every symbol assignment `ν` such that applying
+//! `ν` to each row of `T` yields a tuple of `I`, and returns the summary
+//! images `ν(X)` — by definition exactly `Tab(D, X)` evaluated as
+//! `π_X(⋈_{R∈D} π_R I)`. The test suite proves that identity against the
+//! relational engine, which gives the library two *independent* semantics
+//! for every query: symbolic (this module) and algebraic (`gyo-relation`).
+//!
+//! Evaluation is backtracking join with most-constrained-row selection,
+//! mirroring the containment-mapping search in [`crate::mapping`] — the
+//! Chandra–Merlin correspondence made executable.
+
+use gyo_schema::FxHashMap;
+
+use crate::symbol::Symbol;
+use crate::tableau::Tableau;
+
+/// All tuples (in `T.target()` column order) produced by evaluating the
+/// tableau on the tuple set `universal` (column order = `T.attrs()` order).
+///
+/// Duplicates are removed and the result is sorted, matching the
+/// normalization of `gyo_relation::Relation`.
+pub fn evaluate(t: &Tableau, universal: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let width = t.attrs().len();
+    for row in universal {
+        assert_eq!(row.len(), width, "universal tuple arity mismatch");
+    }
+    let mut results: Vec<Vec<u64>> = Vec::new();
+    let mut binding: FxHashMap<Symbol, u64> = FxHashMap::default();
+    let mut assigned = vec![usize::MAX; t.row_count()];
+
+    // Empty tableau: one empty assignment; summary = distinguished values,
+    // but with no rows there are no bindings — only valid if X is empty.
+    if t.row_count() == 0 {
+        return if t.target().is_empty() {
+            vec![Vec::new()]
+        } else {
+            Vec::new()
+        };
+    }
+
+    search(t, universal, &mut assigned, &mut binding, &mut results);
+    results.sort_unstable();
+    results.dedup();
+    results
+}
+
+fn row_matches(
+    t: &Tableau,
+    row: usize,
+    tuple: &[u64],
+    binding: &FxHashMap<Symbol, u64>,
+) -> bool {
+    t.rows()[row]
+        .iter()
+        .zip(tuple)
+        .all(|(&sym, &v)| binding.get(&sym).is_none_or(|&b| b == v))
+}
+
+#[allow(clippy::needless_range_loop)]
+fn search(
+    t: &Tableau,
+    universal: &[Vec<u64>],
+    assigned: &mut [usize],
+    binding: &mut FxHashMap<Symbol, u64>,
+    results: &mut Vec<Vec<u64>>,
+) {
+    // pick the unassigned row with the fewest matching tuples
+    let mut best: Option<(usize, Vec<usize>)> = None;
+    for row in 0..t.row_count() {
+        if assigned[row] != usize::MAX {
+            continue;
+        }
+        let matches: Vec<usize> = (0..universal.len())
+            .filter(|&u| row_matches(t, row, &universal[u], binding))
+            .collect();
+        if matches.is_empty() {
+            return; // dead end
+        }
+        let better = best.as_ref().is_none_or(|(_, m)| matches.len() < m.len());
+        if better {
+            let forced = matches.len() == 1;
+            best = Some((row, matches));
+            if forced {
+                break;
+            }
+        }
+    }
+    let Some((row, matches)) = best else {
+        // all rows assigned: read off the summary
+        let out: Vec<u64> = t
+            .target()
+            .iter()
+            .map(|a| binding[&Symbol::Distinguished(a)])
+            .collect();
+        results.push(out);
+        return;
+    };
+    for u in matches {
+        let mut added: Vec<Symbol> = Vec::new();
+        let mut ok = true;
+        for (&sym, &v) in t.rows()[row].iter().zip(&universal[u]) {
+            match binding.get(&sym) {
+                Some(&b) if b == v => {}
+                Some(_) => {
+                    ok = false;
+                    break;
+                }
+                None => {
+                    binding.insert(sym, v);
+                    added.push(sym);
+                }
+            }
+        }
+        if ok {
+            assigned[row] = u;
+            search(t, universal, assigned, binding, results);
+            assigned[row] = usize::MAX;
+        }
+        for s in added {
+            binding.remove(&s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_schema::{AttrSet, Catalog, DbSchema};
+
+    fn setup(schema: &str, x: &str) -> (Tableau, DbSchema, AttrSet) {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse(schema, &mut cat).unwrap();
+        let xs = AttrSet::parse(x, &mut cat).unwrap();
+        (Tableau::standard(&d, &xs), d, xs)
+    }
+
+    #[test]
+    fn chain_query_on_tiny_instance() {
+        let (t, _, _) = setup("ab, bc", "ac");
+        // I = {(1,2,3), (4,2,5)} over abc: joining ab with bc through b=2
+        // yields (a,c) ∈ {(1,3),(1,5),(4,3),(4,5)}.
+        let i = vec![vec![1, 2, 3], vec![4, 2, 5]];
+        let out = evaluate(&t, &i);
+        assert_eq!(
+            out,
+            vec![vec![1, 3], vec![1, 5], vec![4, 3], vec![4, 5]]
+        );
+    }
+
+    #[test]
+    fn empty_instance_empty_answer() {
+        let (t, _, _) = setup("ab, bc", "ac");
+        assert!(evaluate(&t, &[]).is_empty());
+    }
+
+    #[test]
+    fn boolean_query_on_nonempty_instance() {
+        let (t, _, _) = setup("ab, bc", "");
+        let out = evaluate(&t, &[vec![1, 2, 3]]);
+        assert_eq!(out, vec![Vec::<u64>::new()], "π_∅ of a nonempty join");
+    }
+
+    #[test]
+    fn cyclic_query_enforces_all_constraints() {
+        let (t, _, _) = setup("ab, bc, ac", "abc");
+        // Two tuples whose pairwise projections join freely but whose
+        // triangle closes only on the original tuples.
+        let i = vec![vec![0, 0, 1], vec![1, 0, 0]];
+        let out = evaluate(&t, &i);
+        assert_eq!(out, vec![vec![0, 0, 1], vec![1, 0, 0]]);
+    }
+
+    #[test]
+    fn agrees_with_relational_engine() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for (schema, x) in [
+            ("ab, bc, cd", "ad"),
+            ("ab, bc, ac", "ab"),
+            ("abc, cde", "ae"),
+            ("abg, bcg, acf, ad, de, ea", "abc"),
+        ] {
+            let (t, d, xs) = setup(schema, x);
+            let u = d.attributes();
+            for round in 0..5 {
+                let rows: Vec<Vec<u64>> = (0..12)
+                    .map(|_| (0..u.len()).map(|_| rng.random_range(0..4u64)).collect())
+                    .collect();
+                let i = gyo_relation_shim::relation(&u, rows.clone());
+                let state = gyo_relation_shim::ur_state(&i, &d);
+                let algebraic = gyo_relation_shim::eval(&state, &xs);
+                let symbolic = evaluate(&t, i.tuples());
+                assert_eq!(
+                    symbolic,
+                    algebraic.tuples().to_vec(),
+                    "case ({schema}, {x}), round {round}"
+                );
+            }
+        }
+    }
+
+    /// Thin indirection so the dev-dependency surface stays explicit.
+    mod gyo_relation_shim {
+        use gyo_schema::{AttrSet, DbSchema};
+        pub use gyo_relation::Relation;
+
+        pub fn relation(attrs: &AttrSet, rows: Vec<Vec<u64>>) -> Relation {
+            Relation::new(attrs.clone(), rows)
+        }
+
+        pub fn ur_state(i: &Relation, d: &DbSchema) -> gyo_relation::DbState {
+            gyo_relation::DbState::from_universal(i, d)
+        }
+
+        pub fn eval(state: &gyo_relation::DbState, x: &AttrSet) -> Relation {
+            state.eval_join_query(x)
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Tableaux, containment mappings, minimization, and canonical connections
+//! (§3.4 of the paper).
+//!
+//! The *standard tableau* `Tab(D, X)` for the join query `(D, X)` has one
+//! row per relation schema: entry `(i, A)` is the distinguished variable `a`
+//! when `A ∈ Rᵢ ∩ X`, the per-attribute shared nondistinguished variable
+//! `a'` when `A ∈ Rᵢ − X`, and a fresh unique nondistinguished variable
+//! otherwise. Tableau machinery turns the paper's semantic notions into
+//! finite searches:
+//!
+//! * **containment mappings** ([`mapping`]) decide weak containment of
+//!   queries over universal databases (Chandra–Merlin over one base
+//!   relation);
+//! * **minimization** ([`minimize()`]) — greedy redundant-row removal, which
+//!   is guaranteed to reach the unique (up to isomorphism, Lemma 3.4)
+//!   minimal tableau;
+//! * the **canonical schema** `CS(D, X)` and the **canonical connection**
+//!   `CC(D, X) = CS(minimal Tab(D, X))` ([`cc`]), with the Theorem 3.3 fast
+//!   paths (`CC = GR` for tree schemas and when `U(GR(D,X)) ⊆ X`);
+//! * **frozen instances** ([`tableau::Tableau::freeze`]) — the canonical
+//!   database obtained by reading symbols as values, which powers the exact
+//!   semantic oracles in `gyo-query`.
+
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod eval;
+pub mod mapping;
+pub mod minimize;
+pub mod symbol;
+pub mod tableau;
+
+pub use cc::{canonical_connection, canonical_schema, cc_via_minimization};
+pub use eval::evaluate;
+pub use mapping::{equivalent, find_containment, isomorphic, ContainmentMapping};
+pub use minimize::{minimize, Minimized};
+pub use symbol::Symbol;
+pub use tableau::Tableau;

@@ -1,0 +1,377 @@
+//! Containment mappings between tableaux (§3.4).
+//!
+//! A containment mapping from `T` to `T'` is a row-to-row mapping induced by
+//! a symbol-to-symbol mapping that fixes distinguished variables \[2\]. This
+//! module implements the backtracking search, tableau equivalence (`T ≡ T'`:
+//! containment mappings both ways), and isomorphism (`T ≃ T'`: a bijective
+//! row correspondence that is a containment mapping in both directions).
+//!
+//! Deciding containment is NP-complete in general; the search uses
+//! most-constrained-row ordering and per-row candidate prefiltering, which
+//! keeps the paper-sized and benchmark-sized instances fast.
+
+use gyo_schema::FxHashMap;
+
+use crate::symbol::Symbol;
+use crate::tableau::Tableau;
+
+/// A successful containment mapping from `T` to `T'`.
+#[derive(Clone, Debug)]
+pub struct ContainmentMapping {
+    /// `row_map[i]` is the row of `T'` that row `i` of `T` maps to.
+    pub row_map: Vec<usize>,
+    /// The inducing symbol mapping, restricted to symbols of `T` that occur
+    /// in at least one constrained position (unique symbols mapped freely
+    /// are included for completeness).
+    pub symbol_map: FxHashMap<Symbol, Symbol>,
+}
+
+/// Searches for a containment mapping from `t` to `t2`.
+///
+/// # Panics
+///
+/// Panics if the tableaux have different column sets or targets — the
+/// paper's containment mappings are only defined between tableaux with the
+/// same distinguished variables.
+pub fn find_containment(t: &Tableau, t2: &Tableau) -> Option<ContainmentMapping> {
+    assert_eq!(t.attrs(), t2.attrs(), "tableaux must share columns");
+    assert_eq!(t.target(), t2.target(), "tableaux must share the target");
+    let n = t.row_count();
+    let width = t.attrs().len();
+
+    // Precompute candidate target rows per source row: distinguished cells
+    // must match exactly.
+    let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for row in t.rows() {
+        let mut cands = Vec::new();
+        'rows: for (j, row2) in t2.rows().iter().enumerate() {
+            for c in 0..width {
+                if row[c].is_distinguished() && row2[c] != row[c] {
+                    continue 'rows;
+                }
+            }
+            cands.push(j);
+        }
+        if cands.is_empty() {
+            return None;
+        }
+        candidates.push(cands);
+    }
+
+    let mut row_map = vec![usize::MAX; n];
+    let mut symbol_map: FxHashMap<Symbol, Symbol> = FxHashMap::default();
+    if assign(t, t2, &candidates, &mut row_map, &mut symbol_map) {
+        Some(ContainmentMapping {
+            row_map,
+            symbol_map,
+        })
+    } else {
+        None
+    }
+}
+
+/// Whether mapping row `i` of `t` to row `j` of `t2` is consistent with the
+/// current symbol bindings; does not mutate the map.
+fn row_compatible(
+    t: &Tableau,
+    t2: &Tableau,
+    i: usize,
+    j: usize,
+    symbol_map: &FxHashMap<Symbol, Symbol>,
+) -> bool {
+    let width = t.attrs().len();
+    for c in 0..width {
+        let from = t.rows()[i][c];
+        if from.is_distinguished() {
+            continue; // candidate prefilter already guaranteed equality
+        }
+        if let Some(&bound) = symbol_map.get(&from) {
+            if bound != t2.rows()[j][c] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Backtracking with dynamic most-constrained-row selection: at every step
+/// pick the unassigned row with the fewest targets compatible with the
+/// current symbol bindings (fail immediately on zero). This keeps
+/// chain-structured tableaux — long paths of shared variables, the common
+/// shape for join queries — close to linear instead of exponential.
+fn assign(
+    t: &Tableau,
+    t2: &Tableau,
+    candidates: &[Vec<usize>],
+    row_map: &mut Vec<usize>,
+    symbol_map: &mut FxHashMap<Symbol, Symbol>,
+) -> bool {
+    let n = t.row_count();
+    // Select the unassigned row with the fewest compatible candidates.
+    let mut best: Option<(usize, Vec<usize>)> = None;
+    for i in 0..n {
+        if row_map[i] != usize::MAX {
+            continue;
+        }
+        let feasible: Vec<usize> = candidates[i]
+            .iter()
+            .copied()
+            .filter(|&j| row_compatible(t, t2, i, j, symbol_map))
+            .collect();
+        let count = feasible.len();
+        if count == 0 {
+            return false; // dead end: some row has no compatible target
+        }
+        if best.as_ref().is_none_or(|(_, f)| count < f.len()) {
+            let forced = count == 1;
+            best = Some((i, feasible));
+            if forced {
+                break; // cannot do better than a forced assignment
+            }
+        }
+    }
+    let Some((i, feasible)) = best else {
+        return true; // every row assigned
+    };
+    let width = t.attrs().len();
+    for j in feasible {
+        // Bind the row's symbols; record additions for backtracking.
+        let mut added: Vec<Symbol> = Vec::new();
+        for c in 0..width {
+            let from = t.rows()[i][c];
+            if from.is_distinguished() {
+                continue;
+            }
+            if symbol_map.get(&from).is_none() {
+                symbol_map.insert(from, t2.rows()[j][c]);
+                added.push(from);
+            }
+        }
+        row_map[i] = j;
+        if assign(t, t2, candidates, row_map, symbol_map) {
+            return true;
+        }
+        row_map[i] = usize::MAX;
+        for s in added {
+            symbol_map.remove(&s);
+        }
+    }
+    false
+}
+
+/// Tableau equivalence `T ≡ T'`: containment mappings in both directions.
+pub fn equivalent(t: &Tableau, t2: &Tableau) -> bool {
+    find_containment(t, t2).is_some() && find_containment(t2, t).is_some()
+}
+
+/// Tableau isomorphism `T ≃ T'`: a one-one row correspondence that is a
+/// containment mapping in both directions (Lemma 3.4's conclusion for
+/// minimal tableaux).
+pub fn isomorphic(t: &Tableau, t2: &Tableau) -> bool {
+    if t.row_count() != t2.row_count() {
+        return false;
+    }
+    match (find_containment(t, t2), find_containment(t2, t)) {
+        (Some(f), Some(g)) => {
+            // For equal row counts it suffices that some containment mapping
+            // is a bijection; compose the found ones to check. If f's row
+            // map is injective it is the required correspondence together
+            // with g existing; otherwise search for an injective variant.
+            is_injective(&f.row_map) || {
+                let _ = g;
+                injective_containment_exists(t, t2)
+            }
+        }
+        _ => false,
+    }
+}
+
+fn is_injective(map: &[usize]) -> bool {
+    let mut seen = vec![false; map.len()];
+    for &j in map {
+        if j >= seen.len() || seen[j] {
+            return false;
+        }
+        seen[j] = true;
+    }
+    true
+}
+
+/// Exhaustive search for an *injective* containment mapping (only needed in
+/// the rare case the greedy search returned a non-injective one between
+/// equal-sized tableaux).
+fn injective_containment_exists(t: &Tableau, t2: &Tableau) -> bool {
+    fn rec(
+        t: &Tableau,
+        t2: &Tableau,
+        i: usize,
+        used: &mut Vec<bool>,
+        symbol_map: &mut FxHashMap<Symbol, Symbol>,
+    ) -> bool {
+        if i == t.row_count() {
+            return true;
+        }
+        let width = t.attrs().len();
+        'cands: for j in 0..t2.row_count() {
+            if used[j] {
+                continue;
+            }
+            let mut added: Vec<Symbol> = Vec::new();
+            for c in 0..width {
+                let from = t.rows()[i][c];
+                let to = t2.rows()[j][c];
+                if from.is_distinguished() {
+                    if from != to {
+                        for s in added.drain(..) {
+                            symbol_map.remove(&s);
+                        }
+                        continue 'cands;
+                    }
+                } else {
+                    match symbol_map.get(&from) {
+                        Some(&bound) if bound == to => {}
+                        Some(_) => {
+                            for s in added.drain(..) {
+                                symbol_map.remove(&s);
+                            }
+                            continue 'cands;
+                        }
+                        None => {
+                            symbol_map.insert(from, to);
+                            added.push(from);
+                        }
+                    }
+                }
+            }
+            used[j] = true;
+            if rec(t, t2, i + 1, used, symbol_map) {
+                return true;
+            }
+            used[j] = false;
+            for s in added {
+                symbol_map.remove(&s);
+            }
+        }
+        false
+    }
+    rec(
+        t,
+        t2,
+        0,
+        &mut vec![false; t2.row_count()],
+        &mut FxHashMap::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_schema::{AttrSet, Catalog, DbSchema};
+
+    fn tab(schema: &str, x: &str) -> Tableau {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse(schema, &mut cat).unwrap();
+        let xs = AttrSet::parse(x, &mut cat).unwrap();
+        Tableau::standard(&d, &xs)
+    }
+
+    #[test]
+    fn identity_containment() {
+        let t = tab("ab, bc", "ac");
+        let m = find_containment(&t, &t).expect("identity works");
+        assert_eq!(m.row_map.len(), 2);
+        assert!(equivalent(&t, &t));
+        assert!(isomorphic(&t, &t));
+    }
+
+    #[test]
+    fn smaller_schema_maps_into_larger_superset_rows() {
+        // Tab((ab), a) maps into Tab((ab, bc), a): row ab -> row ab.
+        let small = tab("ab", "a");
+        let cat = &mut Catalog::alphabetic();
+        let big_d = DbSchema::parse("ab, bc", cat).unwrap();
+        // Rebuild "small" over the same universe so columns match.
+        let x = AttrSet::parse("a", cat).unwrap();
+        let big = Tableau::standard(&big_d, &x);
+        // columns differ (abc vs ab) so direct mapping panics; assert that.
+        let result = std::panic::catch_unwind(|| find_containment(&small, &big));
+        assert!(result.is_err(), "different columns must be rejected");
+    }
+
+    #[test]
+    fn duplicate_rows_map_onto_one() {
+        let t = tab("ab, ab", "ab");
+        let single = t.subtableau(&[0]);
+        let m = find_containment(&t, &single).expect("dup rows fold");
+        assert_eq!(m.row_map, vec![0, 0]);
+        assert!(equivalent(&t, &single));
+        assert!(!isomorphic(&t, &single), "row counts differ");
+    }
+
+    #[test]
+    fn distinguished_variables_block_bad_mappings() {
+        // Tab((ab, bc), abc) cannot map a-row onto c-row.
+        let t = tab("ab, bc", "abc");
+        let only_second = t.subtableau(&[1]);
+        assert!(find_containment(&t, &only_second).is_none());
+    }
+
+    #[test]
+    fn shared_symbol_consistency_enforced() {
+        // D = (ab, bc): b' links the rows. Mapping both rows to a single
+        // row of D' = (abc) is fine (b' -> b'), but folding Tab((ab, bc), a)
+        // onto its FIRST row alone must fail: row bc needs its b-cell to
+        // match row ab's b-cell (ok, b' -> b') and its c-cell (shared c')
+        // to map to row ab's c-cell (a unique) — allowed! So that fold
+        // actually succeeds. A genuine failure needs the target to
+        // constrain two occurrences of one symbol differently:
+        let t = tab("ab, bc", "ac"); // a, c distinguished; b' shared
+        let only_first = t.subtableau(&[0]);
+        // row bc has distinguished c; row ab's c-cell is unique -> no
+        // candidate for row 1.
+        assert!(find_containment(&t, &only_first).is_none());
+    }
+
+    #[test]
+    fn equivalence_of_reordered_schemas() {
+        let t1 = tab("ab, bc, cd", "ad");
+        let t2 = tab("cd, ab, bc", "ad");
+        assert!(equivalent(&t1, &t2));
+        assert!(isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn composition_is_a_containment_mapping_fig3() {
+        // Fig. 3's device: composing containment mappings yields a
+        // containment mapping. Build T -> T' -> T'' and compose.
+        let t = tab("abc, ab, bc", "b");
+        let t_mid = t.subtableau(&[0, 1]);
+        let t_small = t.subtableau(&[0]);
+        let f = find_containment(&t, &t_mid).expect("fold bc into abc");
+        let g = find_containment(&t_mid, &t_small).expect("fold ab into abc");
+        // compose row maps and verify it is a containment mapping T -> T''.
+        let composed: Vec<usize> = f.row_map.iter().map(|&j| g.row_map[j]).collect();
+        // verify by symbol-consistency replay
+        let mut sym: FxHashMap<Symbol, Symbol> = FxHashMap::default();
+        for (i, &j) in composed.iter().enumerate() {
+            for c in 0..t.attrs().len() {
+                let from = t.rows()[i][c];
+                let to = t_small.rows()[j][c];
+                if from.is_distinguished() {
+                    assert_eq!(from, to);
+                } else {
+                    let prev = sym.insert(from, to);
+                    assert!(prev.is_none() || prev == Some(to), "inconsistent composition");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tableaux_are_equivalent() {
+        let t1 = Tableau::standard(&DbSchema::empty(), &AttrSet::empty());
+        let t2 = Tableau::standard(&DbSchema::empty(), &AttrSet::empty());
+        assert!(equivalent(&t1, &t2));
+        assert!(isomorphic(&t1, &t2));
+    }
+}

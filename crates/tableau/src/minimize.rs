@@ -1,0 +1,134 @@
+//! Tableau minimization by redundant-row removal.
+//!
+//! A tableau is *minimal* for its query if it is not equivalent to a tableau
+//! with fewer rows. Two minimal tableaux for the same query are isomorphic
+//! (Lemma 3.4), so the minimal tableau is unique up to isomorphism and can
+//! be computed greedily: while some containment mapping from `T` into a
+//! one-row-smaller subtableau exists, drop the row. Greedy removal cannot
+//! get stuck early: if `T ≡ T_min` with `|T_min| < |T|`, composing the two
+//! containment mappings gives an endomorphism of `T` whose image misses some
+//! row `r`, and that endomorphism *is* a containment mapping into
+//! `T − {r}`.
+
+use crate::mapping::find_containment;
+use crate::tableau::Tableau;
+
+/// A minimization result.
+#[derive(Clone, Debug)]
+pub struct Minimized {
+    /// The minimal subtableau.
+    pub tableau: Tableau,
+    /// Indices (into the input tableau's rows) of the kept rows, ascending.
+    pub kept_rows: Vec<usize>,
+}
+
+/// Minimizes `t` by greedy redundant-row removal.
+///
+/// Runs the NP-hard containment search up to `O(n²)` times; fine for the
+/// paper-scale and benchmark-scale tableaux this library targets.
+pub fn minimize(t: &Tableau) -> Minimized {
+    let mut kept: Vec<usize> = (0..t.row_count()).collect();
+    let mut current = t.clone();
+    'outer: loop {
+        for drop_pos in 0..kept.len() {
+            let mut smaller_keep: Vec<usize> = (0..kept.len()).collect();
+            smaller_keep.remove(drop_pos);
+            let candidate = current.subtableau(&smaller_keep);
+            if find_containment(&current, &candidate).is_some() {
+                kept.remove(drop_pos);
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Minimized {
+        tableau: current,
+        kept_rows: kept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{equivalent, isomorphic};
+    use gyo_schema::{AttrSet, Catalog, DbSchema};
+
+    fn tab(schema: &str, x: &str) -> Tableau {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse(schema, &mut cat).unwrap();
+        let xs = AttrSet::parse(x, &mut cat).unwrap();
+        Tableau::standard(&d, &xs)
+    }
+
+    #[test]
+    fn already_minimal_is_untouched() {
+        let t = tab("ab, bc", "ac");
+        let m = minimize(&t);
+        assert_eq!(m.kept_rows, vec![0, 1]);
+        assert_eq!(m.tableau, t);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let t = tab("ab, ab, ab", "ab");
+        let m = minimize(&t);
+        assert_eq!(m.tableau.row_count(), 1);
+        assert!(equivalent(&t, &m.tableau));
+    }
+
+    #[test]
+    fn subsumed_rows_fold_away() {
+        // D = (abc, ab, bc), X = abc: rows ab and bc fold into abc.
+        let t = tab("abc, ab, bc", "abc");
+        let m = minimize(&t);
+        assert_eq!(m.kept_rows, vec![0]);
+        assert!(equivalent(&t, &m.tableau));
+    }
+
+    #[test]
+    fn section6_example_minimizes_to_three_rows() {
+        // §6: D = (abg, bcg, acf, ad, de, ea), X = abc. The rows for ad,
+        // de, ea fold into abg's unique cells; rows abg, bcg, acf survive.
+        let t = tab("abg, bcg, acf, ad, de, ea", "abc");
+        let m = minimize(&t);
+        assert_eq!(m.kept_rows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn minimization_is_canonical_up_to_isomorphism() {
+        // Minimizing two differently-ordered presentations of the same
+        // query yields isomorphic tableaux (Lemma 3.4).
+        let t1 = minimize(&tab("abg, bcg, acf, ad, de, ea", "abc")).tableau;
+        let t2 = minimize(&tab("ea, de, ad, acf, bcg, abg", "abc")).tableau;
+        assert!(isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn cyclic_query_rows_all_survive() {
+        let t = tab("ab, bc, ac", "abc");
+        let m = minimize(&t);
+        assert_eq!(m.tableau.row_count(), 3);
+    }
+
+    #[test]
+    fn empty_tableau_minimizes_to_itself() {
+        let t = Tableau::standard(&DbSchema::empty(), &AttrSet::empty());
+        let m = minimize(&t);
+        assert_eq!(m.tableau.row_count(), 0);
+        assert!(m.kept_rows.is_empty());
+    }
+
+    #[test]
+    fn minimal_result_is_equivalent_to_input() {
+        for (d, x) in [
+            ("ab, bc, cd, da", "ac"),
+            ("abc, cde, ace, afe", "af"),
+            ("ab, b, bc, c", "b"),
+        ] {
+            let t = tab(d, x);
+            let m = minimize(&t);
+            assert!(equivalent(&t, &m.tableau), "case ({d}, {x})");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Tableau symbols (variables).
+
+use std::fmt;
+
+use gyo_schema::{AttrId, Catalog};
+
+/// A tableau variable. Symbols are *typed by column*: a symbol for attribute
+/// `A` only ever appears in column `A`, mirroring the paper's convention of
+/// writing the distinguished variable of attribute `a` as `a` and its shared
+/// nondistinguished variable as `a'`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Symbol {
+    /// The distinguished variable of an attribute (`a`), used where
+    /// `A ∈ Rᵢ ∩ X`; containment mappings must fix it.
+    Distinguished(AttrId),
+    /// The shared nondistinguished variable of an attribute (`a'`), used
+    /// where `A ∈ Rᵢ − X`; all rows whose schema contains `A` share it.
+    Shared(AttrId),
+    /// A fresh nondistinguished variable appearing in exactly one cell
+    /// (`bᵢ` in tableau notation), used where `A ∉ Rᵢ`. The payload is a
+    /// tableau-unique counter.
+    Unique(u32),
+}
+
+impl Symbol {
+    /// Whether the symbol is distinguished.
+    #[inline]
+    pub fn is_distinguished(self) -> bool {
+        matches!(self, Symbol::Distinguished(_))
+    }
+
+    /// Renders the symbol in the paper's notation (`a`, `a'`, `u17`).
+    pub fn display(self, cat: &Catalog) -> String {
+        match self {
+            Symbol::Distinguished(a) => cat.name(a).to_owned(),
+            Symbol::Shared(a) => format!("{}'", cat.name(a)),
+            Symbol::Unique(n) => format!("u{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::Distinguished(a) => write!(f, "d{}", a.0),
+            Symbol::Shared(a) => write!(f, "s{}", a.0),
+            Symbol::Unique(n) => write!(f, "u{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_notation() {
+        let cat = Catalog::alphabetic();
+        assert_eq!(Symbol::Distinguished(AttrId(0)).display(&cat), "a");
+        assert_eq!(Symbol::Shared(AttrId(1)).display(&cat), "b'");
+        assert_eq!(Symbol::Unique(3).display(&cat), "u3");
+    }
+
+    #[test]
+    fn distinguished_predicate() {
+        assert!(Symbol::Distinguished(AttrId(0)).is_distinguished());
+        assert!(!Symbol::Shared(AttrId(0)).is_distinguished());
+        assert!(!Symbol::Unique(0).is_distinguished());
+    }
+}

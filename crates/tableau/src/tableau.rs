@@ -1,0 +1,309 @@
+//! The tableau data structure and the standard tableau `Tab(D, X)`.
+
+use std::fmt;
+
+use gyo_schema::{AttrSet, Catalog, DbSchema, FxHashMap};
+
+use crate::symbol::Symbol;
+
+/// A tableau for a query with target `X` over attribute universe `attrs`.
+///
+/// Rows are symbol vectors in the column order of `attrs` (sorted attribute
+/// ids). The summary is implicit: the distinguished variable of each `A ∈ X`
+/// (the paper's item (iv)).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Tableau {
+    attrs: AttrSet,
+    target: AttrSet,
+    rows: Vec<Vec<Symbol>>,
+}
+
+impl Tableau {
+    /// Builds the standard tableau `Tab(D, X)` (§3.4):
+    ///
+    /// * `(i, A) = Distinguished(A)` iff `A ∈ Rᵢ ∩ X`;
+    /// * `(i, A) = Shared(A)` iff `A ∈ Rᵢ − X`;
+    /// * all other entries are fresh unique nondistinguished variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `X ⊄ U(D)` — the paper always takes `X ⊆ U(D)`.
+    pub fn standard(d: &DbSchema, x: &AttrSet) -> Self {
+        Self::standard_over(d, x, &d.attributes())
+    }
+
+    /// Builds the standard tableau of `(D, X)` over an enlarged attribute
+    /// universe `U ⊇ U(D)`. Columns for attributes outside `U(D)` hold
+    /// unique nondistinguished variables in every row, so freezing yields a
+    /// canonical instance usable by queries over the larger universe
+    /// (needed when comparing queries whose schemas span different
+    /// attribute sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `X ⊄ U` or `U(D) ⊄ U`.
+    pub fn standard_over(d: &DbSchema, x: &AttrSet, universe: &AttrSet) -> Self {
+        let attrs = universe.clone();
+        assert!(
+            d.attributes().is_subset(&attrs),
+            "universe must contain U(D)"
+        );
+        assert!(
+            x.is_subset(&attrs),
+            "target X must be a subset of U(D)"
+        );
+        let mut fresh = 0u32;
+        let rows = d
+            .iter()
+            .map(|r| {
+                attrs
+                    .iter()
+                    .map(|a| {
+                        if r.contains(a) {
+                            if x.contains(a) {
+                                Symbol::Distinguished(a)
+                            } else {
+                                Symbol::Shared(a)
+                            }
+                        } else {
+                            let s = Symbol::Unique(fresh);
+                            fresh += 1;
+                            s
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            attrs,
+            target: x.clone(),
+            rows,
+        }
+    }
+
+    /// The column attributes (sorted).
+    #[inline]
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// The summary target `X`.
+    #[inline]
+    pub fn target(&self) -> &AttrSet {
+        &self.target
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The rows (column order = `attrs` order).
+    #[inline]
+    pub fn rows(&self) -> &[Vec<Symbol>] {
+        &self.rows
+    }
+
+    /// The subtableau keeping only `keep` (row indices, any order; the
+    /// paper's subtableau has the same distinguished variables and a subset
+    /// of the rows).
+    pub fn subtableau(&self, keep: &[usize]) -> Tableau {
+        Tableau {
+            attrs: self.attrs.clone(),
+            target: self.target.clone(),
+            rows: keep.iter().map(|&i| self.rows[i].clone()).collect(),
+        }
+    }
+
+    /// Counts how many rows each symbol occurs in (a symbol never repeats
+    /// within a row because symbols are typed by column).
+    pub fn occurrence_counts(&self) -> FxHashMap<Symbol, usize> {
+        let mut counts = FxHashMap::default();
+        for row in &self.rows {
+            for &s in row {
+                *counts.entry(s).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// **Freezes** the tableau into a canonical database instance: every
+    /// distinct symbol becomes a distinct `u64` value and each row becomes a
+    /// tuple over `attrs`. Returns the tuples plus the frozen image of the
+    /// summary row (the distinguished values, in `target` column order).
+    ///
+    /// Evaluating a query on the frozen instance implements the
+    /// Chandra–Merlin containment test; see `gyo-query`.
+    pub fn freeze(&self) -> FrozenTableau {
+        let mut ids: FxHashMap<Symbol, u64> = FxHashMap::default();
+        let mut next = 0u64;
+        let mut value = |s: Symbol, ids: &mut FxHashMap<Symbol, u64>| -> u64 {
+            *ids.entry(s).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            })
+        };
+        let tuples: Vec<Vec<u64>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|&s| value(s, &mut ids)).collect())
+            .collect();
+        let summary: Vec<u64> = self
+            .target
+            .iter()
+            .map(|a| value(Symbol::Distinguished(a), &mut ids))
+            .collect();
+        FrozenTableau {
+            attrs: self.attrs.clone(),
+            target: self.target.clone(),
+            tuples,
+            summary,
+        }
+    }
+
+    /// Renders the tableau in a compact grid for diagnostics.
+    pub fn display(&self, cat: &Catalog) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .attrs
+            .iter()
+            .map(|a| cat.name(a).to_owned())
+            .collect();
+        writeln!(out, "  {}", header.join("\t")).expect("write to string");
+        let summary: Vec<String> = self
+            .attrs
+            .iter()
+            .map(|a| {
+                if self.target.contains(a) {
+                    cat.name(a).to_owned()
+                } else {
+                    "·".to_owned()
+                }
+            })
+            .collect();
+        writeln!(out, "Σ {}", summary.join("\t")).expect("write to string");
+        for (i, row) in self.rows.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|s| s.display(cat)).collect();
+            writeln!(out, "r{i} {}", cells.join("\t")).expect("write to string");
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Tableau {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tableau({} rows, {} cols, target {:?})",
+            self.rows.len(),
+            self.attrs.len(),
+            self.target
+        )
+    }
+}
+
+/// The frozen (canonical) database instance of a tableau; see
+/// [`Tableau::freeze`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrozenTableau {
+    /// Column attributes of the tuples.
+    pub attrs: AttrSet,
+    /// The query target `X`.
+    pub target: AttrSet,
+    /// One tuple per tableau row (column order = `attrs` order).
+    pub tuples: Vec<Vec<u64>>,
+    /// The frozen summary row: distinguished values in `target` order.
+    pub summary: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(schema: &str, x: &str) -> (Tableau, DbSchema, Catalog) {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse(schema, &mut cat).unwrap();
+        let xs = AttrSet::parse(x, &mut cat).unwrap();
+        (Tableau::standard(&d, &xs), d, cat)
+    }
+
+    #[test]
+    fn standard_tableau_symbols() {
+        let (t, _, _) = setup("ab, bc", "a");
+        // columns a, b, c; row 0 = (dist a, shared b, unique), row 1 =
+        // (unique, shared b, shared c)
+        assert_eq!(t.row_count(), 2);
+        let r0 = &t.rows()[0];
+        assert!(matches!(r0[0], Symbol::Distinguished(a) if a.0 == 0));
+        assert!(matches!(r0[1], Symbol::Shared(b) if b.0 == 1));
+        assert!(matches!(r0[2], Symbol::Unique(_)));
+        let r1 = &t.rows()[1];
+        assert!(matches!(r1[0], Symbol::Unique(_)));
+        assert_eq!(r1[1], r0[1], "shared symbol is shared across rows");
+        assert!(matches!(r1[2], Symbol::Shared(c) if c.0 == 2));
+    }
+
+    #[test]
+    fn unique_symbols_are_unique() {
+        let (t, _, _) = setup("ab, cd, ef", "");
+        let counts = t.occurrence_counts();
+        for (s, c) in counts {
+            if matches!(s, Symbol::Unique(_)) {
+                assert_eq!(c, 1, "{s:?} repeated");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "subset of U(D)")]
+    fn target_outside_universe_panics() {
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab", &mut cat).unwrap();
+        let x = AttrSet::parse("z", &mut cat).unwrap();
+        Tableau::standard(&d, &x);
+    }
+
+    #[test]
+    fn subtableau_keeps_selected_rows() {
+        let (t, _, _) = setup("ab, bc, cd", "ad");
+        let s = t.subtableau(&[0, 2]);
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.rows()[0], t.rows()[0]);
+        assert_eq!(s.rows()[1], t.rows()[2]);
+        assert_eq!(s.target(), t.target());
+    }
+
+    #[test]
+    fn freeze_assigns_distinct_values_to_distinct_symbols() {
+        let (t, _, _) = setup("ab, bc", "b");
+        let f = t.freeze();
+        assert_eq!(f.tuples.len(), 2);
+        // shared/distinguished b is the same value in both rows
+        assert_eq!(f.tuples[0][1], f.tuples[1][1]);
+        // uniques differ from everything
+        assert_ne!(f.tuples[0][2], f.tuples[1][2]);
+        // summary carries the distinguished value of b
+        assert_eq!(f.summary, vec![f.tuples[0][1]]);
+    }
+
+    #[test]
+    fn display_contains_paper_notation() {
+        let (t, _, cat) = setup("ab, bc", "a");
+        let s = t.display(&cat);
+        assert!(s.contains("a"), "{s}");
+        assert!(s.contains("b'"), "{s}");
+    }
+
+    #[test]
+    fn empty_schema_tableau() {
+        let d = DbSchema::empty();
+        let t = Tableau::standard(&d, &AttrSet::empty());
+        assert_eq!(t.row_count(), 0);
+        let f = t.freeze();
+        assert!(f.tuples.is_empty());
+        assert!(f.summary.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for tableau machinery: minimization laws, equivalence
+//! structure, and the CS/CC laws of §3.4.
+
+use gyo_reduce::is_tree_schema;
+use gyo_schema::{AttrSet, DbSchema};
+use gyo_tableau::{
+    canonical_connection, canonical_schema, cc_via_minimization, equivalent, find_containment,
+    isomorphic, minimize, Tableau,
+};
+use proptest::prelude::*;
+
+fn schema() -> impl Strategy<Value = DbSchema> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..7, 1..4).prop_map(|v| AttrSet::from_raw(&v)),
+        1..5,
+    )
+    .prop_map(DbSchema::new)
+}
+
+fn target_of(d: &DbSchema, k: usize) -> AttrSet {
+    AttrSet::from_iter(d.attributes().iter().take(k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Minimization is idempotent and produces an equivalent tableau.
+    #[test]
+    fn minimize_idempotent_and_equivalent(d in schema(), k in 0usize..3) {
+        let x = target_of(&d, k);
+        let t = Tableau::standard(&d, &x);
+        let m1 = minimize(&t);
+        prop_assert!(equivalent(&t, &m1.tableau));
+        let m2 = minimize(&m1.tableau);
+        prop_assert_eq!(m2.tableau.row_count(), m1.tableau.row_count());
+        prop_assert!(isomorphic(&m1.tableau, &m2.tableau));
+    }
+
+    /// Lemma 3.4: two minimal tableaux for the same query are isomorphic,
+    /// regardless of presentation order.
+    #[test]
+    fn minimal_tableaux_are_isomorphic(d in schema(), k in 0usize..3) {
+        let x = target_of(&d, k);
+        let t1 = minimize(&Tableau::standard(&d, &x)).tableau;
+        let mut rels: Vec<AttrSet> = d.iter().cloned().collect();
+        rels.reverse();
+        let d2 = DbSchema::new(rels);
+        let t2 = minimize(&Tableau::standard(&d2, &x)).tableau;
+        prop_assert!(isomorphic(&t1, &t2));
+    }
+
+    /// The identity containment always exists; containment is reflexive
+    /// and composition-closed on subtableaux chains.
+    #[test]
+    fn identity_containment_exists(d in schema(), k in 0usize..3) {
+        let x = target_of(&d, k);
+        let t = Tableau::standard(&d, &x);
+        let m = find_containment(&t, &t);
+        prop_assert!(m.is_some());
+        let m = m.unwrap();
+        // every row maps to a row with compatible distinguished cells
+        prop_assert_eq!(m.row_map.len(), t.row_count());
+    }
+
+    /// CS of the full-target standard tableau is the reduction of D
+    /// (every cell in Rᵢ is distinguished, everything else unique).
+    #[test]
+    fn cs_of_full_target_is_reduce(d in schema()) {
+        let u = d.attributes();
+        let t = Tableau::standard(&d, &u);
+        prop_assert_eq!(canonical_schema(&t), d.reduce());
+    }
+
+    /// CC(D, U(D)) = reduce(D) — Theorem 3.3(iii) in its simplest clothes.
+    #[test]
+    fn cc_of_full_target_is_reduce(d in schema()) {
+        let u = d.attributes();
+        prop_assert_eq!(canonical_connection(&d, &u), d.reduce());
+        prop_assert_eq!(cc_via_minimization(&d, &u), d.reduce());
+    }
+
+    /// The fast-path CC always agrees with the definitional CC.
+    #[test]
+    fn cc_fast_path_agrees(d in schema(), k in 0usize..4) {
+        let x = target_of(&d, k);
+        prop_assert_eq!(canonical_connection(&d, &x), cc_via_minimization(&d, &x));
+    }
+
+    /// CC is invariant under duplicating a relation (duplicates minimize
+    /// away).
+    #[test]
+    fn cc_ignores_duplicates(d in schema(), k in 0usize..3) {
+        let x = target_of(&d, k);
+        let mut rels: Vec<AttrSet> = d.iter().cloned().collect();
+        rels.push(rels[0].clone());
+        let dup = DbSchema::new(rels);
+        prop_assert_eq!(canonical_connection(&d, &x), canonical_connection(&dup, &x));
+    }
+
+    /// For tree schemas the minimal tableau has |GR(D, X)| rows
+    /// (Theorem 3.3(ii) seen through row counts).
+    #[test]
+    fn tree_minimal_rows_equal_gr_size(d in schema(), k in 0usize..3) {
+        if !is_tree_schema(&d) {
+            return Ok(());
+        }
+        let x = target_of(&d, k);
+        let rows = minimize(&Tableau::standard(&d, &x)).tableau.row_count();
+        let g = gyo_reduce::gr(&d, &x);
+        prop_assert_eq!(rows, g.len(), "D = {:?}, X = {:?}", d, x);
+    }
+
+    /// The Maier–Ullman step inside Theorem 3.3(i):
+    /// `Tab(D, X) ≡ Tab(GR(D, X), X)` — GYO reduction preserves the query.
+    #[test]
+    fn gyo_reduction_preserves_tableau_equivalence(d in schema(), k in 0usize..3) {
+        let x = target_of(&d, k);
+        let g = gyo_reduce::gr(&d, &x);
+        // Build both tableaux over the joint universe so columns align.
+        let universe = d.attributes().union(&g.attributes());
+        let t_d = Tableau::standard_over(&d, &x, &universe);
+        let t_g = Tableau::standard_over(&g, &x, &universe);
+        prop_assert!(equivalent(&t_d, &t_g), "D = {:?}, GR = {:?}, X = {:?}", d, g, x);
+    }
+
+    /// Frozen instances give distinct values to distinct symbols and the
+    /// tuple count equals the row count.
+    #[test]
+    fn freeze_is_faithful(d in schema(), k in 0usize..3) {
+        let x = target_of(&d, k);
+        let t = Tableau::standard(&d, &x);
+        let f = t.freeze();
+        prop_assert_eq!(f.tuples.len(), t.row_count());
+        prop_assert_eq!(f.summary.len(), x.len());
+        // each column's values: shared symbols appear as equal values in
+        // the rows whose schema holds the attribute
+        for (c, a) in t.attrs().iter().enumerate() {
+            let holders: Vec<usize> = (0..d.len()).filter(|&i| d.rel(i).contains(a)).collect();
+            for w in holders.windows(2) {
+                prop_assert_eq!(f.tuples[w[0]][c], f.tuples[w[1]][c]);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixed treefication and its equivalence with bin packing (Theorem 4.2).
+//!
+//! **Fixed Treefication** (§4): given a schema `D` and integers `K`, `B`,
+//! do relation schemas `R'₁, …, R'ₖ` (`k ≤ K`, `|R'ᵢ| ≤ B`) exist such that
+//! `D ∪ (R'₁, …, R'ₖ)` is a tree schema? Adding a *single* relation has the
+//! clean answer `U(GR(D))` (Corollary 3.2); adding several is NP-complete,
+//! shown by reduction from **bin packing** (Garey & Johnson): item `i` of
+//! size `s(i)` becomes an Aclique of size `s(i)` over fresh attributes —
+//! each Aclique's attributes must land together in one added relation, so
+//! the added relations are exactly bins.
+//!
+//! The crate implements:
+//!
+//! * [`binpack`] — exact branch-and-bound and first-fit-decreasing bin
+//!   packing solvers;
+//! * [`reduction`] — the instance transformation of Theorem 4.2 (both the
+//!   construction and the witness mappings in each direction);
+//! * [`solver`] — a complete exact solver for tiny generic instances and
+//!   the Aclique-structured fast solver that the reduction's image admits.
+//!
+//! We cannot "measure" NP-completeness; what the benchmarks reproduce is
+//! the *shape* the theorem predicts — the exact generic solver blows up
+//! exponentially while the structured instances reduce to (still NP-hard
+//! but tiny) bin packing.
+
+#![warn(missing_docs)]
+
+pub mod binpack;
+pub mod reduction;
+pub mod solver;
+
+pub use binpack::{first_fit_decreasing, solve_bin_packing, BinPacking};
+pub use reduction::{bin_packing_to_treefication, treefication_witness_to_packing};
+pub use solver::{solve_aclique_treefication, solve_treefication_exact};

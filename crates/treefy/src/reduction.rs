@@ -1,0 +1,126 @@
+//! The Theorem 4.2 reduction: bin packing ≤ₚ fixed treefication.
+//!
+//! Item `i` of size `s(i)` becomes an Aclique of size `s(i)` over a fresh
+//! attribute block; `K` and `B` carry over. Completeness hinges on the
+//! Aclique property that no attribute appears in only one relation, which
+//! forces all of an Aclique's attributes to appear together in some added
+//! relation — so added relations are bins and Aclique attribute sets are
+//! items.
+
+use gyo_reduce::aclique;
+use gyo_schema::{AttrId, AttrSet, DbSchema};
+
+use crate::binpack::BinPacking;
+
+/// Builds the fixed-treefication instance for a bin packing instance:
+/// returns the schema `D` (disjoint Acliques) plus the per-item attribute
+/// blocks. The treefication parameters are the same `K` (bins) and `B`
+/// (capacity).
+///
+/// # Panics
+///
+/// Panics if some item size is `< 3` — an Aclique needs at least 3
+/// attributes. (Garey & Johnson's strong NP-completeness lets the paper
+/// assume sizes divisible by 3.)
+pub fn bin_packing_to_treefication(inst: &BinPacking) -> (DbSchema, Vec<AttrSet>) {
+    let mut rels = Vec::new();
+    let mut blocks = Vec::with_capacity(inst.sizes.len());
+    let mut next: u32 = 0;
+    for &s in &inst.sizes {
+        assert!(s >= 3, "Aclique items need size ≥ 3");
+        let attrs: Vec<AttrId> = (0..s).map(|k| AttrId(next + k as u32)).collect();
+        next += s as u32;
+        blocks.push(AttrSet::from_iter(attrs.iter().copied()));
+        for r in aclique(&attrs).iter() {
+            rels.push(r.clone());
+        }
+    }
+    (DbSchema::new(rels), blocks)
+}
+
+/// Maps a treefication witness (the added relations) back to a bin packing
+/// assignment, following the (⇒) direction of the Theorem 4.2 proof:
+/// item `i` goes to a bin `j` whose added relation contains the item's
+/// whole attribute block. Returns `None` if some block is not covered —
+/// in which case the witness cannot be valid.
+pub fn treefication_witness_to_packing(
+    blocks: &[AttrSet],
+    added: &[AttrSet],
+) -> Option<Vec<usize>> {
+    blocks
+        .iter()
+        .map(|block| added.iter().position(|r| block.is_subset(r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binpack::solve_bin_packing;
+    use gyo_reduce::is_tree_schema;
+
+    #[test]
+    fn reduction_shape() {
+        let inst = BinPacking::new(vec![3, 4], 2, 7);
+        let (d, blocks) = bin_packing_to_treefication(&inst);
+        // 3 + 4 relations, 3 + 4 attributes, disjoint blocks.
+        assert_eq!(d.len(), 7);
+        assert_eq!(d.attributes().len(), 7);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks[0].is_disjoint(&blocks[1]));
+        assert!(!is_tree_schema(&d), "Acliques are cyclic");
+    }
+
+    #[test]
+    fn packing_witness_maps_to_treefication_witness() {
+        let inst = BinPacking::new(vec![3, 3, 4], 2, 7);
+        let (d, blocks) = bin_packing_to_treefication(&inst);
+        let assignment = solve_bin_packing(&inst).expect("3+4 | 3 fits in two 7-bins");
+        // Build the added relations from the assignment (the (⇐) proof).
+        let mut added = vec![AttrSet::empty(); inst.bins];
+        for (item, &bin) in assignment.iter().enumerate() {
+            added[bin] = added[bin].union(&blocks[item]);
+        }
+        let extended = added
+            .iter()
+            .filter(|r| !r.is_empty())
+            .fold(d.clone(), |acc, r| acc.with_rel(r.clone()));
+        assert!(is_tree_schema(&extended), "the (⇐) construction treeifies");
+        for r in &added {
+            assert!(r.len() as u64 <= inst.capacity);
+        }
+        // And the witness maps back to a valid packing.
+        let back = treefication_witness_to_packing(&blocks, &added).expect("covered");
+        assert!(inst.is_valid(&back));
+    }
+
+    #[test]
+    fn splitting_an_aclique_across_relations_fails() {
+        // The crux of the (⇒) proof: an Aclique's attributes must co-reside.
+        let inst = BinPacking::new(vec![4], 2, 3);
+        let (d, blocks) = bin_packing_to_treefication(&inst);
+        // Try splitting the 4-attribute block into two halves ≤ 3.
+        let attrs: Vec<AttrId> = blocks[0].iter().collect();
+        let half1 = AttrSet::from_iter(attrs[..2].iter().copied());
+        let half2 = AttrSet::from_iter(attrs[2..].iter().copied());
+        let extended = d.with_rel(half1).with_rel(half2);
+        assert!(!is_tree_schema(&extended), "split Aclique stays cyclic");
+        // Even 3-attribute overlapping pieces fail.
+        let p1 = AttrSet::from_iter(attrs[..3].iter().copied());
+        let p2 = AttrSet::from_iter(attrs[1..].iter().copied());
+        assert!(!is_tree_schema(&d.with_rel(p1).with_rel(p2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "size ≥ 3")]
+    fn small_items_rejected() {
+        bin_packing_to_treefication(&BinPacking::new(vec![2], 1, 5));
+    }
+
+    #[test]
+    fn uncovered_block_maps_to_none() {
+        let inst = BinPacking::new(vec![3], 1, 3);
+        let (_, blocks) = bin_packing_to_treefication(&inst);
+        assert!(treefication_witness_to_packing(&blocks, &[AttrSet::empty()]).is_none());
+    }
+}

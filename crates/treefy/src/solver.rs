@@ -1,0 +1,226 @@
+//! Fixed-treefication solvers.
+//!
+//! * [`solve_treefication_exact`] — complete search for tiny instances:
+//!   try every ≤ K-subset of the candidate relations (subsets of `U(GR(D))`
+//!   of size ≤ B) and test tree-ness. Exponential, as Theorem 4.2 predicts
+//!   for any exact procedure (unless P = NP).
+//! * [`solve_aclique_treefication`] — the fast solver for the structured
+//!   instances produced by the Theorem 4.2 reduction (disjoint cyclic
+//!   components each forming an Aclique): by the (⇒) proof each
+//!   component's attributes must co-reside in one added relation, so the
+//!   problem *is* bin packing over component attribute counts.
+
+use gyo_reduce::cores::is_aclique;
+use gyo_reduce::{gr, is_tree_schema};
+use gyo_schema::{AttrId, AttrSet, DbSchema};
+
+use crate::binpack::{solve_bin_packing, BinPacking};
+
+/// Complete exact solver for tiny instances. Returns up to `k` added
+/// relation schemas (each of size ≤ `b`) making `D ∪ (added)` a tree
+/// schema, or `None` if no such relations exist.
+///
+/// Candidates are subsets of `U(GR(D))`: attributes already eliminated by
+/// GYO cannot block tree-ness, and adding attributes outside `U(D)` never
+/// helps (they are deletable immediately).
+///
+/// # Panics
+///
+/// Panics if the candidate count raised to `k` exceeds 5·10⁶ — the search
+/// is exponential by design (Theorem 4.2); larger instances need the
+/// structured solver.
+pub fn solve_treefication_exact(d: &DbSchema, k: usize, b: u64) -> Option<Vec<AttrSet>> {
+    if is_tree_schema(d) {
+        return Some(Vec::new());
+    }
+    if k == 0 {
+        return None;
+    }
+    let residue = gr(d, &AttrSet::empty()).attributes();
+    let pool_attrs: Vec<AttrId> = residue.iter().collect();
+    let mut candidates: Vec<AttrSet> = Vec::new();
+    collect_subsets(&pool_attrs, b as usize, &mut candidates);
+    // Largest candidates first: they absorb the most structure.
+    candidates.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let est = (candidates.len() as f64).powi(k as i32);
+    assert!(
+        est <= 5e6,
+        "exact treefication search too large ({} candidates ^ {k})",
+        candidates.len()
+    );
+    let mut chosen: Vec<usize> = Vec::new();
+    if dfs(d, &candidates, k, 0, &mut chosen) {
+        Some(chosen.iter().map(|&c| candidates[c].clone()).collect())
+    } else {
+        None
+    }
+}
+
+fn collect_subsets(pool: &[AttrId], max_size: usize, out: &mut Vec<AttrSet>) {
+    let n = pool.len();
+    assert!(n <= 22, "residue too large for subset enumeration");
+    for mask in 1u64..(1 << n) {
+        if (mask.count_ones() as usize) <= max_size {
+            out.push(AttrSet::from_iter(
+                (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| pool[i]),
+            ));
+        }
+    }
+}
+
+fn dfs(d: &DbSchema, candidates: &[AttrSet], k: usize, start: usize, chosen: &mut Vec<usize>) -> bool {
+    let extended = chosen
+        .iter()
+        .fold(d.clone(), |acc, &c| acc.with_rel(candidates[c].clone()));
+    if is_tree_schema(&extended) {
+        return true;
+    }
+    if chosen.len() == k {
+        return false;
+    }
+    for c in start..candidates.len() {
+        chosen.push(c);
+        if dfs(d, candidates, k, c + 1, chosen) {
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+/// Fast solver for Aclique-structured instances (the image of the
+/// Theorem 4.2 reduction): requires the GYO residue to split into
+/// attribute-disjoint connected components, each an Aclique. Solves the
+/// induced bin packing exactly and maps bins back to added relations.
+///
+/// Returns `None` when the packing is infeasible. Returns an error string
+/// when the instance is not Aclique-structured (use the exact solver).
+pub fn solve_aclique_treefication(
+    d: &DbSchema,
+    k: usize,
+    b: u64,
+) -> Result<Option<Vec<AttrSet>>, String> {
+    if is_tree_schema(d) {
+        return Ok(Some(Vec::new()));
+    }
+    let residue = gr(d, &AttrSet::empty());
+    let comps = residue.connected_components();
+    let mut blocks: Vec<AttrSet> = Vec::with_capacity(comps.len());
+    for comp in &comps {
+        let sub = residue.project_rels(comp);
+        if !is_aclique(&sub) {
+            return Err(format!(
+                "residue component {comp:?} is not an Aclique; use the exact solver"
+            ));
+        }
+        blocks.push(sub.attributes());
+    }
+    // Blocks must be attribute-disjoint (components of the residue are).
+    let sizes: Vec<u64> = blocks.iter().map(|s| s.len() as u64).collect();
+    let inst = BinPacking::new(sizes, k, b);
+    match solve_bin_packing(&inst) {
+        None => Ok(None),
+        Some(assignment) => {
+            let mut added = vec![AttrSet::empty(); k];
+            for (item, &bin) in assignment.iter().enumerate() {
+                added[bin] = added[bin].union(&blocks[item]);
+            }
+            added.retain(|r| !r.is_empty());
+            debug_assert!({
+                let extended = added
+                    .iter()
+                    .fold(d.clone(), |acc, r| acc.with_rel(r.clone()));
+                is_tree_schema(&extended)
+            });
+            Ok(Some(added))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::bin_packing_to_treefication;
+
+    fn ring4() -> DbSchema {
+        let mut cat = gyo_schema::Catalog::alphabetic();
+        DbSchema::parse("ab, bc, cd, da", &mut cat).unwrap()
+    }
+
+    #[test]
+    fn tree_schema_needs_nothing() {
+        let mut cat = gyo_schema::Catalog::alphabetic();
+        let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+        assert_eq!(solve_treefication_exact(&d, 0, 0), Some(vec![]));
+        assert_eq!(solve_aclique_treefication(&d, 0, 0), Ok(Some(vec![])));
+    }
+
+    #[test]
+    fn ring_needs_all_four_attrs_with_one_relation() {
+        let d = ring4();
+        // One relation of size 3 cannot treeify (Theorem 3.2(iii)).
+        assert!(solve_treefication_exact(&d, 1, 3).is_none());
+        // One relation of size 4 can.
+        let w = solve_treefication_exact(&d, 1, 4).expect("abcd works");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].len(), 4);
+    }
+
+    #[test]
+    fn ring_splits_across_two_triangles() {
+        // Two added relations of size 3 (abc + acd) treeify the 4-ring —
+        // the counterexample showing components need not co-reside for
+        // general (non-Aclique) instances.
+        let d = ring4();
+        let w = solve_treefication_exact(&d, 2, 3).expect("two triangles");
+        let extended = w.iter().fold(d.clone(), |acc, r| acc.with_rel(r.clone()));
+        assert!(is_tree_schema(&extended));
+        // The structured solver must refuse this instance (a ring is not an
+        // Aclique).
+        assert!(solve_aclique_treefication(&d, 2, 3).is_err());
+    }
+
+    #[test]
+    fn aclique_solver_matches_exact_on_reduction_images() {
+        // Two items of size 3 into one bin of 6: feasible.
+        let inst = BinPacking::new(vec![3, 3], 1, 6);
+        let (d, _) = bin_packing_to_treefication(&inst);
+        let fast = solve_aclique_treefication(&d, 1, 6).unwrap();
+        let exact = solve_treefication_exact(&d, 1, 6);
+        assert!(fast.is_some());
+        assert!(exact.is_some());
+
+        // Two items of size 3 into one bin of 5: infeasible.
+        let inst = BinPacking::new(vec![3, 3], 1, 5);
+        let (d, _) = bin_packing_to_treefication(&inst);
+        assert_eq!(solve_aclique_treefication(&d, 1, 5).unwrap(), None);
+        assert_eq!(solve_treefication_exact(&d, 1, 5), None);
+
+        // …but two bins of 3 suffice.
+        let fast = solve_aclique_treefication(&d, 2, 3).unwrap().expect("one each");
+        assert_eq!(fast.len(), 2);
+    }
+
+    #[test]
+    fn witnesses_validate_end_to_end() {
+        let inst = BinPacking::new(vec![3, 4, 3], 2, 7);
+        let (d, blocks) = bin_packing_to_treefication(&inst);
+        let added = solve_aclique_treefication(&d, 2, 7)
+            .unwrap()
+            .expect("3+4 | 3 fits");
+        let extended = added.iter().fold(d.clone(), |acc, r| acc.with_rel(r.clone()));
+        assert!(is_tree_schema(&extended));
+        let back = crate::reduction::treefication_witness_to_packing(&blocks, &added)
+            .expect("blocks covered");
+        assert!(inst.is_valid(&back));
+    }
+
+    #[test]
+    fn zero_budget_on_cyclic_schema() {
+        assert!(solve_treefication_exact(&ring4(), 0, 10).is_none());
+        // The structured solver wants Aclique components; give it one.
+        let inst = BinPacking::new(vec![3], 1, 3);
+        let (d, _) = bin_packing_to_treefication(&inst);
+        assert_eq!(solve_aclique_treefication(&d, 0, 10), Ok(None));
+    }
+}

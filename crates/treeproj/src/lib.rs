@@ -1,0 +1,32 @@
+//! Tree projections (§3.2 and §6 of the paper).
+//!
+//! For schemas `D ≤ D′`, a schema `D″` is a **tree projection** of `D′`
+//! with respect to `D`, written `D″ ∈ TP(D′, D)`, when `D ≤ D″ ≤ D′` and
+//! `D″` is a tree schema. For a query `Q = (D, X)`,
+//! `TP(D′, Q) ≝ TP(D′, D ∪ (X))`.
+//!
+//! Tree projections are "the crux of the query processing problem"
+//! (Theorems 6.1–6.4): a program `P` of joins/semijoins/projections solves
+//! `(D, X)` essentially iff the schema `P(D)` it materializes admits a tree
+//! projection w.r.t. the query (w.r.t. `CC(D, X) ∪ (X)` over UR databases).
+//!
+//! This crate provides:
+//!
+//! * [`validate`] / [`is_tree_projection`] — the (cheap) definition check,
+//!   returning the *host* relation of `D′` for each member of `D″` so that
+//!   executors can materialize `D″` states by projection;
+//! * [`find_tree_projection`] — a cover-driven branch-and-bound search over
+//!   subsets of `D′`'s relations (sound always; complete whenever a tree
+//!   projection exists that uses at most `extras` members not containing
+//!   any relation of `D`, and the search budget is not exhausted — deciding
+//!   existence in general is NP-hard);
+//! * [`exists_tp_bruteforce`] — a complete exponential oracle for tiny
+//!   instances, used to validate the search in tests.
+
+#![warn(missing_docs)]
+
+pub mod search;
+
+pub use search::{
+    exists_tp_bruteforce, find_tree_projection, is_tree_projection, validate, TreeProjection,
+};

@@ -1,0 +1,62 @@
+//! Property tests for tree-projection search: soundness everywhere,
+//! completeness against the brute-force oracle on tiny instances.
+
+use gyo_reduce::is_tree_schema;
+use gyo_schema::{AttrSet, DbSchema};
+use gyo_treeproj::{exists_tp_bruteforce, find_tree_projection, is_tree_projection};
+use proptest::prelude::*;
+
+fn schema(max_rels: usize, attrs: u32, max_arity: usize) -> impl Strategy<Value = DbSchema> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..attrs, 1..=max_arity).prop_map(|v| AttrSet::from_raw(&v)),
+        1..=max_rels,
+    )
+    .prop_map(DbSchema::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every result of the search validates as a genuine tree projection.
+    #[test]
+    fn search_is_sound(d in schema(4, 5, 2), d_p in schema(3, 5, 4)) {
+        if let Some(tp) = find_tree_projection(&d_p, &d, 2, 200_000) {
+            prop_assert!(is_tree_projection(&tp.schema, &d_p, &d));
+            prop_assert!(is_tree_schema(&tp.schema));
+            prop_assert!(d.le(&tp.schema));
+            prop_assert!(tp.schema.le(&d_p));
+            // hosts are correct
+            for (i, s) in tp.schema.iter().enumerate() {
+                prop_assert!(s.is_subset(d_p.rel(tp.hosts[i])));
+            }
+        }
+    }
+
+    /// On tiny candidate pools the bounded search agrees with the complete
+    /// brute-force enumeration.
+    #[test]
+    fn search_is_complete_on_tiny_pools(d in schema(3, 4, 2), d_p in schema(2, 4, 3)) {
+        // keep the pool under the brute-force limit
+        let pool_bound: usize = d_p.reduce().iter().map(|r| (1usize << r.len()) - 1).sum();
+        if pool_bound > 20 {
+            return Ok(());
+        }
+        let fast = find_tree_projection(&d_p, &d, 3, 1_000_000).is_some();
+        let brute = exists_tp_bruteforce(&d_p, &d);
+        prop_assert_eq!(fast, brute, "D = {:?}, D' = {:?}", d, d_p);
+    }
+
+    /// A tree schema is always its own tree projection when D ≤ D′.
+    #[test]
+    fn tree_d_is_its_own_tp(d_p in schema(3, 5, 4)) {
+        // Use D = reduce(D′) projected onto singletons: guaranteed ≤ D′.
+        let d = DbSchema::new(
+            d_p.iter().map(|r| AttrSet::from_iter(r.iter().take(1))).collect(),
+        );
+        prop_assert!(d.le(&d_p));
+        // singleton relation schemas always form a tree schema
+        prop_assert!(is_tree_schema(&d));
+        let tp = find_tree_projection(&d_p, &d, 0, 10_000);
+        prop_assert!(tp.is_some());
+    }
+}

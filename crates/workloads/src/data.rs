@@ -1,0 +1,165 @@
+//! Universal-relation data generators.
+
+use gyo_relation::{join_of_projections, DbState, Relation};
+use gyo_schema::{AttrSet, DbSchema};
+use rand::Rng;
+
+/// A random universal relation over `attrs`: `rows` tuples with values drawn
+/// uniformly from `0..domain` per attribute. Smaller domains produce denser
+/// joins (lower selectivity); `domain = 1` collapses everything onto one
+/// tuple.
+///
+/// # Panics
+///
+/// Panics if `domain == 0`.
+pub fn random_universal<R: Rng + ?Sized>(
+    rng: &mut R,
+    attrs: &AttrSet,
+    rows: usize,
+    domain: u64,
+) -> Relation {
+    assert!(domain > 0, "domain must be nonempty");
+    let width = attrs.len();
+    let tuples: Vec<Vec<u64>> = (0..rows)
+        .map(|_| (0..width).map(|_| rng.random_range(0..domain)).collect())
+        .collect();
+    Relation::new(attrs.clone(), tuples)
+}
+
+/// A random universal relation already satisfying `⋈D`, produced by one
+/// application of the join-of-projections closure `m_D` to a random
+/// relation over `U(D)` (the operator is idempotent, so the result is
+/// jd-closed). Useful for lossless-join experiments where `I ⊨ ⋈D` is the
+/// premise.
+///
+/// Note: the closure can blow up the row count for very dense inputs; keep
+/// `domain` comfortably above `rows` for near-linear output sizes.
+pub fn jd_closed_universal<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &DbSchema,
+    rows: usize,
+    domain: u64,
+) -> Relation {
+    let u = d.attributes();
+    let i = random_universal(rng, &u, rows, domain);
+    join_of_projections(&i, d)
+}
+
+/// The UR database state `{π_R(I) | R ∈ D}` for a universal relation `I`.
+///
+/// # Panics
+///
+/// Panics if `U(D) ⊄ attrs(I)`.
+pub fn ur_state(universal: &Relation, d: &DbSchema) -> DbState {
+    DbState::from_universal(universal, d)
+}
+
+/// A **non-UR** database state: the UR projections of `universal` plus
+/// `noise_rows` random tuples per relation (values in `0..domain`). The
+/// noise tuples are *dangling* with high probability (they do not join
+/// through), which is exactly the situation §4's semijoin transformation —
+/// and Yannakakis-style full reducers — exist for.
+///
+/// # Panics
+///
+/// Panics if `U(D) ⊄ attrs(I)` or `domain == 0`.
+pub fn noisy_ur_state<R: Rng + ?Sized>(
+    rng: &mut R,
+    universal: &Relation,
+    d: &DbSchema,
+    noise_rows: usize,
+    domain: u64,
+) -> DbState {
+    assert!(domain > 0, "domain must be nonempty");
+    let rels: Vec<Relation> = d
+        .iter()
+        .map(|r| {
+            let mut tuples: Vec<Vec<u64>> = universal.project(r).tuples().to_vec();
+            tuples.extend((0..noise_rows).map(|_| {
+                (0..r.len())
+                    .map(|_| rng.random_range(0..domain))
+                    .collect::<Vec<u64>>()
+            }));
+            Relation::new(r.clone(), tuples)
+        })
+        .collect();
+    DbState::new(d, rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_relation::satisfies_jd;
+    use gyo_schema::Catalog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_universal_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let attrs = AttrSet::from_raw(&[0, 1, 2]);
+        let i = random_universal(&mut rng, &attrs, 50, 1000);
+        assert!(i.len() <= 50); // dedup may shrink
+        assert!(i.len() >= 45); // but collisions are unlikely at domain 1000
+        assert_eq!(i.attrs(), &attrs);
+    }
+
+    #[test]
+    fn domain_one_collapses() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let attrs = AttrSet::from_raw(&[0, 1]);
+        let i = random_universal(&mut rng, &attrs, 10, 1);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn jd_closed_universal_satisfies_its_jd() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab, bc, cd", &mut cat).unwrap();
+        let i = jd_closed_universal(&mut rng, &d, 30, 8);
+        assert!(satisfies_jd(&i, &d));
+    }
+
+    #[test]
+    fn ur_state_matches_manual_projection() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut cat = Catalog::alphabetic();
+        let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+        let i = random_universal(&mut rng, &d.attributes(), 20, 4);
+        let st = ur_state(&i, &d);
+        assert_eq!(st.rel(0), &i.project(d.rel(0)));
+        assert_eq!(st.rel(1), &i.project(d.rel(1)));
+    }
+}
+
+#[cfg(test)]
+mod noisy_tests {
+    use super::*;
+    use gyo_schema::Catalog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noisy_state_contains_the_ur_projections() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut cat = Catalog::alphabetic();
+        let d = gyo_schema::DbSchema::parse("ab, bc", &mut cat).unwrap();
+        let i = random_universal(&mut rng, &d.attributes(), 20, 50);
+        let clean = ur_state(&i, &d);
+        let noisy = noisy_ur_state(&mut rng, &i, &d, 30, 1000);
+        for k in 0..d.len() {
+            assert!(clean.rel(k).is_subset(noisy.rel(k)));
+            assert!(noisy.rel(k).len() > clean.rel(k).len());
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_the_ur_state() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut cat = Catalog::alphabetic();
+        let d = gyo_schema::DbSchema::parse("ab, bc", &mut cat).unwrap();
+        let i = random_universal(&mut rng, &d.attributes(), 20, 50);
+        assert_eq!(noisy_ur_state(&mut rng, &i, &d, 0, 10), ur_state(&i, &d));
+    }
+}

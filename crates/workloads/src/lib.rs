@@ -1,0 +1,27 @@
+//! Schema families and data generators for tests and benchmarks.
+//!
+//! The paper's figures use hand-sized schemas; reproducing its *algorithmic*
+//! claims at benchmark scale needs parameterized families:
+//!
+//! * deterministic shapes — [`chain`], [`star`], [`aring_n`], [`aclique_n`],
+//!   [`grid`] — covering the canonical tree and cyclic topologies;
+//! * randomized generators — [`random_tree_schema`] (guaranteed tree
+//!   schemas, built around a random qual tree), [`random_schema`]
+//!   (unconstrained hypergraphs), [`random_cyclic_schema`];
+//! * data generators — [`random_universal`], [`jd_closed_universal`] (a
+//!   universal relation already satisfying `⋈D`, via one application of the
+//!   join-of-projections closure), and [`ur_state`].
+//!
+//! All randomized generators take an external `rand::Rng`, so property tests
+//! can drive them from seeds.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod schemas;
+
+pub use data::{jd_closed_universal, noisy_ur_state, random_universal, ur_state};
+pub use schemas::{
+    aclique_n, aring_n, caterpillar, chain, grid, numbered_catalog, random_cyclic_schema,
+    random_schema, random_tree_schema, ring_of_cliques, star,
+};

@@ -1,0 +1,60 @@
+//! Fagin's acyclicity ladder, climbed live: γ ⊂ β ⊂ α ⊂ all schemas,
+//! with one separating schema per rung and the witness that places it
+//! there.
+//!
+//! ```sh
+//! cargo run --release --example acyclicity_ladder
+//! ```
+
+use gyo::gamma::{acyclicity_report, AcyclicityLevel};
+use gyo::prelude::*;
+
+fn main() {
+    let mut cat = Catalog::alphabetic();
+    let rungs = [
+        ("ab, bc, cd", AcyclicityLevel::Gamma, "the chain"),
+        ("abc, ab, bc", AcyclicityLevel::Beta, "§5.1's example"),
+        ("abc, ab, bc, ac", AcyclicityLevel::Alpha, "triangle with a roof"),
+        ("ab, bc, cd, da", AcyclicityLevel::Cyclic, "the Aring of size 4"),
+    ];
+    println!("level   schema                 separating witness");
+    println!("{:-<78}", "");
+    for (s, expected, nickname) in rungs {
+        let d = DbSchema::parse(s, &mut cat).unwrap();
+        let r = acyclicity_report(&d);
+        assert_eq!(r.level, expected);
+        let witness = match r.level {
+            AcyclicityLevel::Gamma => {
+                "none needed — every connected sub-join is lossless (Cor. 5.3)".to_owned()
+            }
+            AcyclicityLevel::Beta => {
+                let c = r.gamma_witness.expect("β-not-γ has a weak γ-cycle");
+                let names: Vec<String> =
+                    c.rels.iter().map(|&i| d.rel(i).to_notation(&cat)).collect();
+                format!("weak γ-cycle through ({})", names.join(", "))
+            }
+            AcyclicityLevel::Alpha => {
+                let v = r.beta_witness.expect("α-not-β has a cyclic subset");
+                let names: Vec<String> =
+                    v.iter().map(|&i| d.rel(i).to_notation(&cat)).collect();
+                format!("cyclic sub-schema ({})", names.join(", "))
+            }
+            AcyclicityLevel::Cyclic => {
+                let w = r.cyclic_core.expect("Lemma 3.1 witness");
+                format!(
+                    "delete {} ⇒ {:?}",
+                    w.deleted.to_notation(&cat),
+                    w.kind
+                )
+            }
+        };
+        println!("{:<7?} {:<22} {}  [{nickname}]", r.level, s, witness);
+    }
+
+    println!();
+    println!("Guarantees per level:");
+    println!("  γ: every connected sub-database has a lossless join (Fagin via Cor. 5.3)");
+    println!("  β: every sub-database is still a tree schema (hereditary α)");
+    println!("  α: full reducers exist; ⋈D itself is lossless; Yannakakis applies");
+    println!("  cyclic: joins-only processing needs CC(D, X); treeify via U(GR(D)) (Cor. 3.2)");
+}

@@ -1,0 +1,124 @@
+//! A schema-design assistant built on the paper's theory: feed it a
+//! database schema and it reports everything the paper can tell you about
+//! it — acyclicity class, cyclic cores, lossless sub-databases, γ-level
+//! guarantees, and the cheapest fix for cyclicity.
+//!
+//! ```sh
+//! cargo run --release --example schema_designer            # built-in demo
+//! cargo run --release --example schema_designer "ab, bc, ac"
+//! ```
+
+use gyo::gamma::{acyclicity_report, is_gamma_acyclic, AcyclicityLevel};
+use gyo::prelude::*;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let schemas: Vec<String> = match arg {
+        Some(s) => vec![s],
+        None => vec![
+            "ab, bc, cd".to_owned(),             // γ-acyclic chain
+            "abc, ab, bc".to_owned(),            // tree but γ-cyclic (§5.1)
+            "ab, bc, cd, da".to_owned(),         // the Aring
+            "abce, bef, dif, cda, dab, bcd, cg".to_owned(), // Fig. 2c spirit
+        ],
+    };
+    for s in schemas {
+        report(&s);
+        println!();
+    }
+}
+
+fn report(s: &str) {
+    let mut cat = Catalog::alphabetic();
+    let d = match DbSchema::parse(s, &mut cat) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse {s:?}: {e}");
+            return;
+        }
+    };
+    println!("schema D = {}", d.to_notation(&cat));
+    println!("  |D| = {}, U(D) = {}", d.len(), d.attributes().to_notation(&cat));
+
+    // --- acyclicity ladder ------------------------------------------------
+    let kind = classify(&d);
+    println!("  α-acyclic (tree schema): {}", kind == SchemaKind::Tree);
+    let gamma = is_gamma_acyclic(&d);
+    println!("  γ-acyclic              : {gamma}");
+    let report = acyclicity_report(&d);
+    let ladder = match report.level {
+        AcyclicityLevel::Gamma => "γ-acyclic (strongest: every connected sub-database lossless)",
+        AcyclicityLevel::Beta => "β-acyclic (hereditarily α, but some connected sub-join is lossy)",
+        AcyclicityLevel::Alpha => "α-acyclic only (some sub-database is cyclic)",
+        AcyclicityLevel::Cyclic => "cyclic",
+    };
+    println!("  ladder level           : {ladder}");
+
+    match kind {
+        SchemaKind::Tree => {
+            let red = gyo_reduce(&d, &AttrSet::empty());
+            let tree = gyo::join_tree_from_trace(&d, &red).expect("tree schema");
+            println!("  a qual tree:");
+            for &(u, v) in tree.edges() {
+                println!(
+                    "    {} — {}",
+                    d.rel(u).to_notation(&cat),
+                    d.rel(v).to_notation(&cat)
+                );
+            }
+            if !gamma {
+                if let Some(cycle) = find_weak_gamma_cycle(&d) {
+                    let rels: Vec<String> = cycle
+                        .rels
+                        .iter()
+                        .map(|&r| d.rel(r).to_notation(&cat))
+                        .collect();
+                    println!(
+                        "  warning: weak γ-cycle through ({}) — some connected \
+                         sub-database has a lossy join (Fagin)",
+                        rels.join(", ")
+                    );
+                }
+            } else {
+                println!(
+                    "  every connected sub-database has a lossless join (Cor. 5.3)"
+                );
+            }
+        }
+        SchemaKind::Cyclic => {
+            if let Some(w) = find_cyclic_core(&d) {
+                println!(
+                    "  cyclic core (Lemma 3.1): delete {} ⇒ {:?} {}",
+                    w.deleted.to_notation(&cat),
+                    w.kind,
+                    w.core.to_notation(&cat)
+                );
+            }
+            let fix = treeifying_relation(&d);
+            println!(
+                "  cheapest single-relation fix (Cor. 3.2): add {}",
+                fix.to_notation(&cat)
+            );
+        }
+    }
+
+    // --- lossless sub-databases -------------------------------------------
+    if d.len() <= 8 {
+        println!("  lossless connected sub-databases (⋈D ⊨ ⋈D'):");
+        let n = d.len();
+        for mask in 1u32..(1 << n) {
+            let nodes: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            if nodes.len() < 2 || nodes.len() == n {
+                continue;
+            }
+            if !d.project_rels(&nodes).is_connected() {
+                continue;
+            }
+            if implies_lossless(&d, &nodes) {
+                let names: Vec<String> =
+                    nodes.iter().map(|&i| d.rel(i).to_notation(&cat)).collect();
+                println!("    ({})", names.join(", "));
+            }
+        }
+    }
+}

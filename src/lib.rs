@@ -1,0 +1,5 @@
+//! Facade package for workspace-level examples and integration tests.
+//!
+//! The real library lives in [`gyo_core`]; this package simply re-exports it
+//! so that `examples/` and `tests/` at the repository root can use one import.
+pub use gyo_core::*;

@@ -1,0 +1,101 @@
+//! Integration coverage for the post-midpoint extensions, exercised
+//! through the facade: UJR, the acyclicity ladder, symbolic tableau
+//! evaluation, the §4 UR transformation, and program optimization.
+
+use gyo::gamma::{acyclicity_report, AcyclicityLevel};
+use gyo::prelude::*;
+use gyo::query::{eliminate_dead_statements, is_ujr, is_ur_state, to_ur_state};
+use gyo::tableau::evaluate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn ladder_separating_examples_through_facade() {
+    let mut cat = Catalog::alphabetic();
+    let levels = [
+        ("ab, bc, cd", AcyclicityLevel::Gamma),
+        ("abc, ab, bc", AcyclicityLevel::Beta),
+        ("abc, ab, bc, ac", AcyclicityLevel::Alpha),
+        ("ab, bc, cd, da", AcyclicityLevel::Cyclic),
+    ];
+    for (s, expected) in levels {
+        let d = DbSchema::parse(s, &mut cat).unwrap();
+        assert_eq!(acyclicity_report(&d).level, expected, "case {s}");
+    }
+}
+
+#[test]
+fn ujr_tree_vs_cyclic_through_facade() {
+    let mut cat = Catalog::alphabetic();
+    let mut rng = StdRng::seed_from_u64(91);
+    // tree: random UR states are UJR
+    let chain = DbSchema::parse("ab, bc, cd", &mut cat).unwrap();
+    let i = gyo_workloads::random_universal(&mut rng, &chain.attributes(), 20, 4);
+    let state = DbState::from_universal(&i, &chain);
+    assert!(is_ujr(&chain, &state));
+    // cyclic: the classic triangle UR state is not
+    let tri = DbSchema::parse("ab, bc, ac", &mut cat).unwrap();
+    let i = Relation::new(tri.attributes(), vec![vec![0, 0, 1], vec![1, 0, 0]]);
+    let state = DbState::from_universal(&i, &tri);
+    assert!(!is_ujr(&tri, &state));
+}
+
+#[test]
+fn symbolic_and_algebraic_semantics_coincide() {
+    let mut cat = Catalog::alphabetic();
+    let mut rng = StdRng::seed_from_u64(92);
+    let d = DbSchema::parse("abg, bcg, acf, ad, de, ea", &mut cat).unwrap();
+    let x = AttrSet::parse("abc", &mut cat).unwrap();
+    let t = Tableau::standard(&d, &x);
+    for _ in 0..5 {
+        let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 15, 4);
+        let state = DbState::from_universal(&i, &d);
+        let algebraic = state.eval_join_query(&x);
+        let symbolic = evaluate(&t, i.tuples());
+        assert_eq!(symbolic, algebraic.tuples().to_vec());
+    }
+}
+
+#[test]
+fn ur_transformation_pipeline() {
+    let mut cat = Catalog::alphabetic();
+    let mut rng = StdRng::seed_from_u64(93);
+    let d = DbSchema::parse("ab, bc, cd, de", &mut cat).unwrap();
+    let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 20, 60);
+    let noisy = gyo_workloads::noisy_ur_state(&mut rng, &i, &d, 15, 2000);
+    assert!(!is_ur_state(&d, &noisy));
+    let fixed = to_ur_state(&d, &noisy).expect("tree schema");
+    assert!(is_ur_state(&d, &fixed));
+    // queries agree on the noisy original and its UR reduction
+    let x = AttrSet::parse("ae", &mut cat).unwrap();
+    assert_eq!(noisy.eval_join_query(&x), fixed.eval_join_query(&x));
+}
+
+#[test]
+fn optimizer_cooperates_with_tree_projection_machinery() {
+    // Build a wasteful program for the ring query, slim it, and verify the
+    // slimmed program still admits the tree projection and solves.
+    let mut cat = Catalog::alphabetic();
+    let d = DbSchema::parse("ab, bc, cd, da", &mut cat).unwrap();
+    let x = AttrSet::parse("ac", &mut cat).unwrap();
+    let q = JoinQuery::new(d.clone(), x.clone());
+
+    let mut p = Program::new(d.clone());
+    let abc = p.join(0, 1);
+    let _waste1 = p.semijoin(3, 0);
+    let _waste2 = p.join(1, 2);
+    let acd = p.join(2, 3);
+    let top = p.join(abc, acd);
+    p.project(top, x.clone());
+
+    let slim = eliminate_dead_statements(&p).program;
+    assert!(slim.len() < p.len());
+
+    let mut rng = StdRng::seed_from_u64(94);
+    for _ in 0..5 {
+        let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 25, 3);
+        let state = DbState::from_universal(&i, &d);
+        assert_eq!(slim.run(&state), q.eval(&state));
+        assert_eq!(slim.run(&state), p.run(&state));
+    }
+}

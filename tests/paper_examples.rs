@@ -1,0 +1,154 @@
+//! Every worked example of the paper, asserted end-to-end through the
+//! public facade (`gyo`). These duplicate a few crate-level unit tests on
+//! purpose: the integration suite proves the *published API* reproduces the
+//! paper, independent of crate internals.
+
+use gyo::gamma::is_gamma_acyclic;
+use gyo::prelude::*;
+use gyo::reduce::cores::{classify_core, CoreKind};
+use gyo::treeproj::{is_tree_projection, validate};
+
+fn parse(s: &str, cat: &mut Catalog) -> DbSchema {
+    DbSchema::parse(s, cat).unwrap()
+}
+
+#[test]
+fn figure_1_classifications_and_qual_graphs() {
+    let mut cat = Catalog::alphabetic();
+    assert_eq!(classify(&parse("ab, bc, cd", &mut cat)), SchemaKind::Tree);
+    assert_eq!(classify(&parse("ab, bc, ac", &mut cat)), SchemaKind::Cyclic);
+    let row3 = parse("abc, cde, ace, afe", &mut cat);
+    assert_eq!(classify(&row3), SchemaKind::Tree);
+
+    // The figure's stated qual tree for row 3: abc - ace - afe with cde
+    // attached to ace. Validate it explicitly as a qual graph.
+    let g = QualGraph::new(4, [(0, 2), (1, 2), (2, 3)]);
+    assert!(g.is_valid_for(&row3));
+    assert!(g.is_tree());
+
+    // The figure's claim that the triangle's only qual graph is the
+    // triangle itself: no tree validates.
+    let triangle = parse("ab, bc, ac", &mut cat);
+    let chain_graph = QualGraph::new(3, [(0, 1), (1, 2)]);
+    assert!(!chain_graph.is_valid_for(&triangle));
+}
+
+#[test]
+fn figure_2_cores() {
+    let mut cat = Catalog::alphabetic();
+    assert_eq!(
+        classify_core(&parse("ab, bc, cd, da", &mut cat)),
+        Some(CoreKind::Aring(4))
+    );
+    assert_eq!(
+        classify_core(&parse("bcd, acd, abd, abc", &mut cat)),
+        Some(CoreKind::Aclique(4))
+    );
+}
+
+#[test]
+fn section_3_2_tree_projection_example() {
+    let mut cat = Catalog::alphabetic();
+    let d = parse("ab, bc, cd, de, ef, fg, gh, ha", &mut cat);
+    let d_pp = parse("ab, abch, cdgh, defg, ef", &mut cat);
+    let d_p = parse("abef, abch, cdgh, defg, ef", &mut cat);
+    assert!(d.le(&d_pp) && d_pp.le(&d_p), "D ≤ D″ ≤ D′");
+    assert!(is_tree_schema(&d_pp), "D″ is a tree schema");
+    assert_eq!(classify(&d), SchemaKind::Cyclic, "D is cyclic (the 8-ring)");
+    assert_eq!(classify(&d_p), SchemaKind::Cyclic, "D′ is cyclic");
+    assert!(is_tree_projection(&d_pp, &d_p, &d));
+    // The qual tree the paper names: ab - abch - cdgh - defg - ef.
+    let g = QualGraph::new(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+    assert!(JoinTree::try_new(g, &d_pp).is_some());
+}
+
+#[test]
+fn section_5_1_lossless_join_example() {
+    let mut cat = Catalog::alphabetic();
+    let d = parse("abc, ab, bc", &mut cat);
+    // ⋈D ⊭ ⋈D' for D' = (ab, bc), and D' is not a subtree of D.
+    assert!(!implies_lossless(&d, &[1, 2]));
+    assert!(!is_subtree(&d, &[1, 2]));
+    // D is a tree schema but NOT γ-acyclic (it has the weak γ-cycle the
+    // example exploits).
+    assert!(is_tree_schema(&d));
+    assert!(!is_gamma_acyclic(&d));
+    assert!(find_weak_gamma_cycle(&d).unwrap().verify(&d));
+}
+
+#[test]
+fn section_6_irrelevant_relations_example() {
+    let mut cat = Catalog::alphabetic();
+    let d = parse("abg, bcg, acf, ad, de, ea", &mut cat);
+    let x = AttrSet::parse("abc", &mut cat).unwrap();
+    // "to solve Q, R4, R5, and R6 are irrelevant, as is the f column in R3.
+    //  Hence we can solve (D', abc) where D' = (R1, R2, π_ac R3)."
+    let cc = canonical_connection(&d, &x);
+    assert_eq!(cc, parse("abg, bcg, ac", &mut cat));
+    // and joining exactly {R1, R2, R3} is sufficient (CC ≤ those three)...
+    assert!(joins_only_solvable(&d, &x, &[0, 1, 2]));
+    // ...but no two of them suffice.
+    for pair in [[0usize, 1], [0, 2], [1, 2]] {
+        assert!(!joins_only_solvable(&d, &x, &pair));
+    }
+}
+
+#[test]
+fn lemma_3_1_on_the_paper_style_schema() {
+    let mut cat = Catalog::alphabetic();
+    // Fig. 2c in spirit: two witnesses expose the two different cores.
+    let d = parse("abce, bef, dif, cda, dab, bcd, cg", &mut cat);
+    assert_eq!(classify(&d), SchemaKind::Cyclic);
+    let x1 = AttrSet::parse("abgi", &mut cat).unwrap();
+    assert_eq!(
+        classify_core(&d.delete_attrs(&x1).reduce()),
+        Some(CoreKind::Aring(4))
+    );
+    let x2 = AttrSet::parse("efgi", &mut cat).unwrap();
+    assert_eq!(
+        classify_core(&d.delete_attrs(&x2).reduce()),
+        Some(CoreKind::Aclique(4))
+    );
+    let w = find_cyclic_core(&d).unwrap();
+    assert_eq!(classify_core(&d.delete_attrs(&w.deleted).reduce()), Some(w.kind));
+}
+
+#[test]
+fn corollaries_3_1_and_3_2() {
+    let mut cat = Catalog::alphabetic();
+    // Corollary 3.1: D tree ⟺ GR(D) = (∅).
+    for (s, tree) in [("ab, bc, cd", true), ("ab, bc, ac", false)] {
+        let d = parse(s, &mut cat);
+        let red = gyo_reduce(&d, &AttrSet::empty());
+        assert_eq!(red.is_total(), tree, "case {s}");
+    }
+    // Corollary 3.2 on the ring.
+    let ring = parse("ab, bc, cd, da", &mut cat);
+    let w = treeifying_relation(&ring);
+    assert_eq!(w, AttrSet::parse("abcd", &mut cat).unwrap());
+    assert!(is_tree_schema(&ring.with_rel(w)));
+}
+
+#[test]
+fn theorem_5_1_equality_iff_reduced() {
+    // "(There is equality in (i) iff D' is reduced.)"
+    let mut cat = Catalog::alphabetic();
+    let d = parse("abc, ab, bc", &mut cat);
+    // D' = (abc, ab): lossless but not reduced ⇒ CC(D, U(D')) ⊊ D'.
+    assert!(implies_lossless(&d, &[0, 1]));
+    let cc = canonical_connection(&d, &d.project_rels(&[0, 1]).attributes());
+    assert_ne!(cc, d.project_rels(&[0, 1]));
+    assert!(cc.le(&d.project_rels(&[0, 1])));
+    // D' = (abc) alone: reduced ⇒ equality.
+    let cc1 = canonical_connection(&d, &d.project_rels(&[0]).attributes());
+    assert_eq!(cc1, d.project_rels(&[0]));
+}
+
+#[test]
+fn tree_projection_hosts_support_execution() {
+    let mut cat = Catalog::alphabetic();
+    let d = parse("ab, bc, cd, da", &mut cat);
+    let d_p = parse("abc, acd", &mut cat);
+    let tp = validate(&d_p, &d_p, &d).expect("the triangulation is its own TP");
+    assert_eq!(tp.hosts, vec![0, 1]);
+}

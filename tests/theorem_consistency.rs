@@ -1,0 +1,146 @@
+//! Cross-crate property tests: every syntactic criterion in the paper is
+//! checked against an independent decision procedure on randomized schemas.
+//!
+//! * tree-schema-ness: GYO (incremental) ≡ GYO (naive) ≡ max-weight
+//!   spanning tree ≡ brute-force qual-tree enumeration;
+//! * `CC ≤ GR` (Thm 3.3(i)) and `CC = GR` on trees (Thm 3.3(ii));
+//! * lossless joins: CC criterion ≡ frozen-tableau semantics (Thm 5.1),
+//!   ≡ subtree on trees (Cor. 5.2);
+//! * γ-acyclicity: pairwise test ≡ cycle search ≡ subtree oracle
+//!   (Thm 5.3) ≡ "all connected sub-databases lossless" (Fagin's (*)).
+
+use gyo::gamma::{find_weak_gamma_cycle, is_gamma_acyclic, is_gamma_acyclic_via_subtrees};
+use gyo::prelude::*;
+use gyo::query::implies_lossless_semantic;
+use gyo::reduce::oracle;
+use gyo::reduce::{gyo_reduce_naive, is_subtree};
+use gyo::schema::qual::maximum_weight_join_tree;
+use gyo::tableau::cc_via_minimization;
+use gyo_workloads::{random_schema, random_tree_schema};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_random_schema(seed: u64, n_rels: usize, n_attrs: usize, arity: usize) -> DbSchema {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_schema(&mut rng, n_rels, n_attrs, arity)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_deciders_agree(seed in any::<u64>(), n in 2usize..6, attrs in 3usize..7) {
+        let d = small_random_schema(seed, n, attrs, 3);
+        let by_gyo = is_tree_schema(&d);
+        let by_naive = gyo_reduce_naive(&d, &AttrSet::empty());
+        let naive_total = by_naive.result.is_empty()
+            || (by_naive.result.len() == 1 && by_naive.result.rel(0).is_empty());
+        let by_mst = maximum_weight_join_tree(&d).is_some();
+        let by_brute = oracle::is_tree_schema_bruteforce(&d);
+        prop_assert_eq!(by_gyo, naive_total);
+        prop_assert_eq!(by_gyo, by_mst);
+        prop_assert_eq!(by_gyo, by_brute);
+    }
+
+    #[test]
+    fn gyo_result_is_engine_independent(seed in any::<u64>(), n in 1usize..7, attrs in 2usize..8) {
+        let d = small_random_schema(seed, n, attrs, 4);
+        // sacred set: first half of the universe
+        let u: Vec<AttrId> = d.attributes().iter().collect();
+        let x = AttrSet::from_iter(u.iter().take(u.len() / 2).copied());
+        let fast = gyo_reduce(&d, &x).result;
+        let slow = gyo_reduce_naive(&d, &x).result;
+        prop_assert_eq!(&fast, &slow);
+        prop_assert!(fast.is_reduced());
+    }
+
+    #[test]
+    fn trace_trees_validate(seed in any::<u64>(), n in 1usize..10, attrs in 2usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_tree_schema(&mut rng, n, attrs, 0.5);
+        let red = gyo_reduce(&d, &AttrSet::empty());
+        prop_assert!(red.is_total());
+        let tree = gyo::join_tree_from_trace(&d, &red).expect("tree schema");
+        prop_assert!(tree.graph().is_valid_for(&d));
+        prop_assert!(tree.attribute_connectivity_holds(&d));
+    }
+
+    #[test]
+    fn cc_le_gr_always(seed in any::<u64>(), n in 1usize..5, attrs in 2usize..6) {
+        let d = small_random_schema(seed, n, attrs, 3);
+        let u: Vec<AttrId> = d.attributes().iter().collect();
+        let x = AttrSet::from_iter(u.iter().take(2).copied());
+        let cc = cc_via_minimization(&d, &x);
+        let g = gyo::gr(&d, &x);
+        prop_assert!(cc.le(&g), "CC={cc:?} GR={g:?}");
+        // and the fast-path CC agrees with the definitional CC
+        prop_assert_eq!(cc, canonical_connection(&d, &x));
+    }
+
+    #[test]
+    fn lossless_deciders_agree(seed in any::<u64>(), n in 2usize..5, attrs in 3usize..6) {
+        let d = small_random_schema(seed, n, attrs, 3);
+        let count = d.len();
+        for mask in 1u32..(1 << count) {
+            let nodes: Vec<usize> = (0..count).filter(|&i| mask >> i & 1 == 1).collect();
+            let by_cc = implies_lossless(&d, &nodes);
+            let by_sem = implies_lossless_semantic(&d, &nodes);
+            prop_assert_eq!(by_cc, by_sem, "nodes {:?} of {:?}", nodes, d);
+            if is_tree_schema(&d) {
+                prop_assert_eq!(by_cc, is_subtree(&d, &nodes));
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_characterizations_agree(seed in any::<u64>(), n in 2usize..5, attrs in 3usize..6) {
+        let d = small_random_schema(seed, n, attrs, 3);
+        let by_pairs = is_gamma_acyclic(&d);
+        let by_cycles = find_weak_gamma_cycle(&d).is_none();
+        let by_subtrees = is_gamma_acyclic_via_subtrees(&d);
+        prop_assert_eq!(by_pairs, by_cycles, "{:?}", d);
+        prop_assert_eq!(by_pairs, by_subtrees, "{:?}", d);
+    }
+
+    #[test]
+    fn gamma_cycles_verify(seed in any::<u64>(), n in 3usize..6, attrs in 3usize..7) {
+        let d = small_random_schema(seed, n, attrs, 3);
+        if let Some(cycle) = find_weak_gamma_cycle(&d) {
+            prop_assert!(cycle.verify(&d), "cycle {:?} of {:?}", cycle, d);
+        }
+    }
+
+    #[test]
+    fn subtree_criterion_matches_bruteforce(seed in any::<u64>(), n in 1usize..6, attrs in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_tree_schema(&mut rng, n, attrs, 0.5);
+        let count = d.len();
+        for mask in 0u32..(1 << count) {
+            let nodes: Vec<usize> = (0..count).filter(|&i| mask >> i & 1 == 1).collect();
+            prop_assert_eq!(
+                is_subtree(&d, &nodes),
+                oracle::is_subtree_bruteforce(&d, &nodes),
+                "nodes {:?} of {:?}", nodes, d
+            );
+        }
+    }
+
+    #[test]
+    fn corollary_3_2_minimal_fix(seed in any::<u64>(), n in 3usize..6, attrs in 3usize..6) {
+        let d = small_random_schema(seed, n, attrs, 3);
+        let w = treeifying_relation(&d);
+        prop_assert!(is_tree_schema(&d.with_rel(w.clone())));
+        if !is_tree_schema(&d) {
+            // dropping any single attribute of W breaks the fix
+            for a in w.iter() {
+                let mut smaller = w.clone();
+                smaller.remove(a);
+                prop_assert!(
+                    !is_tree_schema(&d.with_rel(smaller)),
+                    "dropping {:?} from W should fail", a
+                );
+            }
+        }
+    }
+}
