@@ -29,11 +29,9 @@ fn bench_tree_fast_path(c: &mut Criterion) {
             |b, (d, x)| b.iter(|| black_box(canonical_connection(d, x).len())),
         );
         if n <= 16 {
-            group.bench_with_input(
-                BenchmarkId::new("minimization", n),
-                &(d, x),
-                |b, (d, x)| b.iter(|| black_box(cc_via_minimization(d, x).len())),
-            );
+            group.bench_with_input(BenchmarkId::new("minimization", n), &(d, x), |b, (d, x)| {
+                b.iter(|| black_box(cc_via_minimization(d, x).len()))
+            });
         }
     }
     group.finish();
@@ -44,11 +42,9 @@ fn bench_cyclic_minimization(c: &mut Criterion) {
     for n in [4usize, 6, 8, 10] {
         let d = aring_n(n);
         let x = target_of(&d);
-        group.bench_with_input(
-            BenchmarkId::new("aring", n),
-            &(d, x),
-            |b, (d, x)| b.iter(|| black_box(canonical_connection(d, x).len())),
-        );
+        group.bench_with_input(BenchmarkId::new("aring", n), &(d, x), |b, (d, x)| {
+            b.iter(|| black_box(canonical_connection(d, x).len()))
+        });
     }
     group.finish();
 }
@@ -64,11 +60,9 @@ fn bench_random_trees(c: &mut Criterion) {
             &(d.clone(), x.clone()),
             |b, (d, x)| b.iter(|| black_box(canonical_connection(d, x).len())),
         );
-        group.bench_with_input(
-            BenchmarkId::new("minimization", n),
-            &(d, x),
-            |b, (d, x)| b.iter(|| black_box(cc_via_minimization(d, x).len())),
-        );
+        group.bench_with_input(BenchmarkId::new("minimization", n), &(d, x), |b, (d, x)| {
+            b.iter(|| black_box(cc_via_minimization(d, x).len()))
+        });
     }
     group.finish();
 }

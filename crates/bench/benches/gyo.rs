@@ -35,11 +35,9 @@ fn bench_sacred_sets(c: &mut Criterion) {
     let d = chain(1000);
     for sacred_count in [0usize, 10, 100, 1000] {
         let x = AttrSet::from_iter((0..sacred_count as u32).map(gyo_core::AttrId));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(sacred_count),
-            &x,
-            |b, x| b.iter(|| black_box(gyo_reduce(&d, x).result.len())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(sacred_count), &x, |b, x| {
+            b.iter(|| black_box(gyo_reduce(&d, x).result.len()))
+        });
     }
     group.finish();
 }

@@ -22,11 +22,9 @@ fn bench_tree_schemas(c: &mut Criterion) {
             |b, (d, sub)| b.iter(|| black_box(implies_lossless(d, sub))),
         );
         if n <= 16 {
-            group.bench_with_input(
-                BenchmarkId::new("semantic", n),
-                &(d, sub),
-                |b, (d, sub)| b.iter(|| black_box(implies_lossless_semantic(d, sub))),
-            );
+            group.bench_with_input(BenchmarkId::new("semantic", n), &(d, sub), |b, (d, sub)| {
+                b.iter(|| black_box(implies_lossless_semantic(d, sub)))
+            });
         }
     }
     group.finish();
@@ -42,11 +40,9 @@ fn bench_cyclic_schemas(c: &mut Criterion) {
             &(d.clone(), sub.clone()),
             |b, (d, sub)| b.iter(|| black_box(implies_lossless(d, sub))),
         );
-        group.bench_with_input(
-            BenchmarkId::new("semantic", n),
-            &(d, sub),
-            |b, (d, sub)| b.iter(|| black_box(implies_lossless_semantic(d, sub))),
-        );
+        group.bench_with_input(BenchmarkId::new("semantic", n), &(d, sub), |b, (d, sub)| {
+            b.iter(|| black_box(implies_lossless_semantic(d, sub)))
+        });
     }
     group.finish();
 }

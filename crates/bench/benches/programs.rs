@@ -32,17 +32,13 @@ fn bench_selectivity_sweep(c: &mut Criterion) {
             state.eval_join_query(&x),
             "sanity"
         );
-        group.bench_with_input(
-            BenchmarkId::new("join_only", domain),
-            &state,
-            |b, state| b.iter(|| black_box(state.eval_join_query(&x).len())),
-        );
+        group.bench_with_input(BenchmarkId::new("join_only", domain), &state, |b, state| {
+            b.iter(|| black_box(state.eval_join_query(&x).len()))
+        });
         group.bench_with_input(
             BenchmarkId::new("yannakakis", domain),
             &state,
-            |b, state| {
-                b.iter(|| black_box(solve_tree_query(&d, state, &x).unwrap().len()))
-            },
+            |b, state| b.iter(|| black_box(solve_tree_query(&d, state, &x).unwrap().len())),
         );
     }
     group.finish();

@@ -46,16 +46,12 @@ fn bench_data_sweep(c: &mut Criterion) {
         let mut rng = bench_rng();
         let i = random_universal(&mut rng, &d.attributes(), rows, 100 * rows as u64);
         let state = DbState::from_universal(&i, &d);
-        group.bench_with_input(
-            BenchmarkId::new("full_join", rows),
-            &state,
-            |b, state| b.iter(|| black_box(q.eval(state).len())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("cc_pruned", rows),
-            &state,
-            |b, state| b.iter(|| black_box(pruned.eval(&d, state).len())),
-        );
+        group.bench_with_input(BenchmarkId::new("full_join", rows), &state, |b, state| {
+            b.iter(|| black_box(q.eval(state).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("cc_pruned", rows), &state, |b, state| {
+            b.iter(|| black_box(pruned.eval(&d, state).len()))
+        });
     }
     group.finish();
 }

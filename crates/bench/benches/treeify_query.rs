@@ -34,9 +34,7 @@ fn bench_fringe_sweep(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("treeified", pendants),
             &state,
-            |b, state| {
-                b.iter(|| black_box(solve_via_treeification(&d, state, &x).len()))
-            },
+            |b, state| b.iter(|| black_box(solve_via_treeification(&d, state, &x).len())),
         );
     }
     group.finish();
@@ -50,18 +48,12 @@ fn bench_data_sweep(c: &mut Criterion) {
         let mut rng = bench_rng();
         let i = random_universal(&mut rng, &d.attributes(), rows, 10 * rows as u64);
         let state = DbState::from_universal(&i, &d);
-        group.bench_with_input(
-            BenchmarkId::new("monolithic", rows),
-            &state,
-            |b, state| b.iter(|| black_box(state.eval_join_query(&x).len())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("treeified", rows),
-            &state,
-            |b, state| {
-                b.iter(|| black_box(solve_via_treeification(&d, state, &x).len()))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("monolithic", rows), &state, |b, state| {
+            b.iter(|| black_box(state.eval_join_query(&x).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("treeified", rows), &state, |b, state| {
+            b.iter(|| black_box(solve_via_treeification(&d, state, &x).len()))
+        });
     }
     group.finish();
 }

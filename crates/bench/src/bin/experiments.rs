@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run --release -p gyo-bench --bin experiments`.
 
+use gyo_core::gamma::cycles::contract_cycle;
+use gyo_core::gamma::{is_gamma_acyclic_via_subtrees, GammaCycle};
 use gyo_core::prelude::*;
 use gyo_core::query::{
     implies_lossless_semantic, solve_with_tree_projection, weakly_equivalent_semantic,
@@ -16,8 +18,6 @@ use gyo_core::treefy::{
     solve_treefication_exact, treefication_witness_to_packing, BinPacking,
 };
 use gyo_core::treeproj::{find_tree_projection, validate};
-use gyo_core::gamma::cycles::contract_cycle;
-use gyo_core::gamma::{is_gamma_acyclic_via_subtrees, GammaCycle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -189,11 +189,7 @@ fn main() {
         println!("       measured: {}", detail);
         println!("{:-<100}", "");
     }
-    println!(
-        "{} experiments, {} failures",
-        experiments.len(),
-        failures
-    );
+    println!("{} experiments, {} failures", experiments.len(), failures);
     if failures > 0 {
         std::process::exit(1);
     }
@@ -282,7 +278,9 @@ fn f3() -> CheckResult {
             }
         }
     }
-    Ok(format!("composed row map {composed:?} verified as containment mapping"))
+    Ok(format!(
+        "composed row map {composed:?} verified as containment mapping"
+    ))
 }
 
 fn f4() -> CheckResult {
@@ -339,8 +337,8 @@ fn f7() -> CheckResult {
     let mut out = Vec::new();
     for s in ["ab, bc, cd, da", "bcd, acd, abd, abc"] {
         let d = parse(s, &mut cat);
-        let (i, j) = gyo_core::gamma::violating_pair(&d)
-            .ok_or_else(|| format!("{s}: no violating pair"))?;
+        let (i, j) =
+            gyo_core::gamma::violating_pair(&d).ok_or_else(|| format!("{s}: no violating pair"))?;
         out.push(format!("{s}: pair ({i},{j}) stays connected"));
     }
     Ok(out.join("; "))
@@ -465,7 +463,9 @@ fn t2() -> CheckResult {
             checked += 1;
         }
     }
-    Ok(format!("{checked} (schema, subset) pairs agree with brute force"))
+    Ok(format!(
+        "{checked} (schema, subset) pairs agree with brute force"
+    ))
 }
 
 fn t3() -> CheckResult {
@@ -561,8 +561,8 @@ fn t6() -> CheckResult {
             return Err(format!("bin packing {sizes:?} K={k} B={b}: got {direct}"));
         }
         let (d, blocks) = bin_packing_to_treefication(&inst);
-        let via_schema = solve_aclique_treefication(&d, k, b)
-            .map_err(|e| format!("structured solver: {e}"))?;
+        let via_schema =
+            solve_aclique_treefication(&d, k, b).map_err(|e| format!("structured solver: {e}"))?;
         if via_schema.is_some() != feasible {
             return Err(format!("treefication side disagrees on {sizes:?}"));
         }
@@ -607,7 +607,9 @@ fn t7() -> CheckResult {
             checked += 1;
         }
     }
-    Ok(format!("{checked} (schema, sub-schema) pairs agree (CC ≡ semantics ≡ subtree on trees)"))
+    Ok(format!(
+        "{checked} (schema, sub-schema) pairs agree (CC ≡ semantics ≡ subtree on trees)"
+    ))
 }
 
 fn t8() -> CheckResult {
@@ -666,7 +668,9 @@ fn t9() -> CheckResult {
         }
         checked += 1;
     }
-    Ok(format!("{checked} random schemas: 3 characterizations + Fagin (*) all agree"))
+    Ok(format!(
+        "{checked} random schemas: 3 characterizations + Fagin (*) all agree"
+    ))
 }
 
 fn t10() -> CheckResult {

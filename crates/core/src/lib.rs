@@ -60,8 +60,8 @@ pub use gyo_treefy as treefy;
 pub use gyo_treeproj as treeproj;
 
 pub use gyo_gamma::{
-    acyclicity_report, find_weak_gamma_cycle, is_beta_acyclic, is_gamma_acyclic,
-    AcyclicityLevel, AcyclicityReport, GammaCycle,
+    acyclicity_report, find_weak_gamma_cycle, is_beta_acyclic, is_gamma_acyclic, AcyclicityLevel,
+    AcyclicityReport, GammaCycle,
 };
 pub use gyo_query::{
     implies_lossless, joins_only_solvable, prune_irrelevant, solve_tree_query,

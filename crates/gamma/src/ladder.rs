@@ -123,9 +123,15 @@ mod tests {
 
     #[test]
     fn degenerate_schemas_are_gamma() {
-        assert_eq!(acyclicity_report(&DbSchema::empty()).level, AcyclicityLevel::Gamma);
+        assert_eq!(
+            acyclicity_report(&DbSchema::empty()).level,
+            AcyclicityLevel::Gamma
+        );
         assert_eq!(acyclicity_report(&db("abc")).level, AcyclicityLevel::Gamma);
-        assert_eq!(acyclicity_report(&db("ab, ab")).level, AcyclicityLevel::Gamma);
+        assert_eq!(
+            acyclicity_report(&db("ab, ab")).level,
+            AcyclicityLevel::Gamma
+        );
     }
 
     #[test]
@@ -137,9 +143,8 @@ mod tests {
         let ring = db("ab, bc, cd, da");
         let r = acyclicity_report(&ring);
         let core = r.cyclic_core.unwrap();
-        assert!(gyo_reduce::cores::classify_core(
-            &ring.delete_attrs(&core.deleted).reduce()
-        )
-        .is_some());
+        assert!(
+            gyo_reduce::cores::classify_core(&ring.delete_attrs(&core.deleted).reduce()).is_some()
+        );
     }
 }

@@ -240,7 +240,10 @@ mod tests {
         assert!(is_aring(&d));
         assert!(!is_aclique(&d));
         assert_eq!(classify_core(&d), Some(CoreKind::Aring(4)));
-        assert_eq!(aring(&ids(4)), DbSchema::parse("ab, bc, cd, da", &mut Catalog::alphabetic()).unwrap());
+        assert_eq!(
+            aring(&ids(4)),
+            DbSchema::parse("ab, bc, cd, da", &mut Catalog::alphabetic()).unwrap()
+        );
     }
 
     #[test]
@@ -267,7 +270,11 @@ mod tests {
     fn generated_cores_are_cyclic() {
         for n in 3..8 {
             assert_eq!(classify(&aring(&ids(n))), SchemaKind::Cyclic, "Aring {n}");
-            assert_eq!(classify(&aclique(&ids(n))), SchemaKind::Cyclic, "Aclique {n}");
+            assert_eq!(
+                classify(&aclique(&ids(n))),
+                SchemaKind::Cyclic,
+                "Aclique {n}"
+            );
         }
     }
 
@@ -317,7 +324,11 @@ mod tests {
 
         let x_clique = AttrSet::parse("efgi", &mut cat).unwrap();
         let clique = d.delete_attrs(&x_clique).reduce();
-        assert_eq!(classify_core(&clique), Some(CoreKind::Aclique(4)), "{clique:?}");
+        assert_eq!(
+            classify_core(&clique),
+            Some(CoreKind::Aclique(4)),
+            "{clique:?}"
+        );
 
         // And the search finds some witness on its own.
         let w = find_cyclic_core(&d).expect("cyclic");

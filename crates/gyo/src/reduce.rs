@@ -285,8 +285,7 @@ impl<'a> Engine<'a> {
             return (0..self.rels.len()).find(|&j| j != i && self.alive[j]);
         }
         // Probe only relations holding the rarest attribute of rels[i].
-        let rarest = self
-            .rels[i]
+        let rarest = self.rels[i]
             .iter()
             .min_by_key(|a| self.holders.get(a).map_or(0, |h| h.len()))?;
         let candidates = self.holders.get(&rarest)?;
@@ -361,9 +360,7 @@ impl<'a> Engine<'a> {
                 continue;
             }
             for a in self.rels[i].iter() {
-                if !self.sacred.contains(a)
-                    && self.holders.get(&a).map_or(0, |h| h.len()) == 1
-                {
+                if !self.sacred.contains(a) && self.holders.get(&a).map_or(0, |h| h.len()) == 1 {
                     return false;
                 }
             }

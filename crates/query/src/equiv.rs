@@ -51,8 +51,7 @@ pub fn weakly_equivalent_semantic(q: &JoinQuery, q2: &JoinQuery) -> bool {
 /// `(D, X) ≡ (D', X)` iff `CC(D, X) = CC(D', X)`).
 pub fn weakly_equivalent(q: &JoinQuery, q2: &JoinQuery) -> bool {
     assert_eq!(q.target(), q2.target(), "queries must share the target X");
-    canonical_connection(q.schema(), q.target())
-        == canonical_connection(q2.schema(), q2.target())
+    canonical_connection(q.schema(), q.target()) == canonical_connection(q2.schema(), q2.target())
 }
 
 /// Corollary 4.1: solving `(D, X)` by joining only the relations of
@@ -208,11 +207,7 @@ mod tests {
         for round in 0..10 {
             let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 40, 4);
             let state = DbState::from_universal(&i, &d);
-            assert_eq!(
-                full.eval(&state),
-                pruned.eval(&d, &state),
-                "round {round}"
-            );
+            assert_eq!(full.eval(&state), pruned.eval(&d, &state), "round {round}");
         }
     }
 

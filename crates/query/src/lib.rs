@@ -35,9 +35,7 @@ pub use equiv::{
     joins_only_solvable, prune_irrelevant, weakly_contained_semantic, weakly_equivalent,
     weakly_equivalent_semantic, PrunedQuery,
 };
-pub use lossless::{
-    implies_lossless, implies_lossless_semantic, min_equivalent_subschema,
-};
+pub use lossless::{implies_lossless, implies_lossless_semantic, min_equivalent_subschema};
 pub use optimize::{eliminate_dead_statements, Slimmed};
 pub use program::{Program, RelRef, Statement, StatementStats};
 pub use query::JoinQuery;

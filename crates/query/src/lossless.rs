@@ -74,7 +74,11 @@ mod tests {
     #[test]
     fn corollary_5_2_tree_schema_lossless_iff_subtree() {
         let mut cat = Catalog::alphabetic();
-        for (s, n) in [("ab, bc, cd", 3), ("abc, cde, ace, afe", 4), ("abc, ab, bc", 3)] {
+        for (s, n) in [
+            ("ab, bc, cd", 3),
+            ("abc, cde, ace, afe", 4),
+            ("abc, ab, bc", 3),
+        ] {
             let d = db(s, &mut cat);
             for mask in 1u32..(1 << n) {
                 let nodes: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();

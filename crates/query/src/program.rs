@@ -182,9 +182,7 @@ impl Program {
                     rels[*left].natural_join(&rels[*right]),
                     rels[*left].len() + rels[*right].len(),
                 ),
-                Statement::Project { src, onto } => {
-                    (rels[*src].project(onto), rels[*src].len())
-                }
+                Statement::Project { src, onto } => (rels[*src].project(onto), rels[*src].len()),
                 Statement::Semijoin { left, right } => (
                     rels[*left].semijoin(&rels[*right]),
                     rels[*left].len() + rels[*right].len(),
@@ -236,12 +234,8 @@ impl Program {
             return Some(canonical);
         }
         for _ in 0..tries {
-            let i = gyo_workloads_shim::random_universal(
-                rng,
-                &q.schema().attributes(),
-                rows,
-                domain,
-            );
+            let i =
+                gyo_workloads_shim::random_universal(rng, &q.schema().attributes(), rows, domain);
             let state = DbState::from_universal(&i, q.schema());
             if !self.solves_on(&state, q) {
                 return Some(i);
@@ -266,13 +260,9 @@ impl Program {
                     right,
                     self.schemas[target].to_notation(cat)
                 ),
-                Statement::Project { src, onto } => writeln!(
-                    out,
-                    "R{} := π_{}(R{})",
-                    target,
-                    onto.to_notation(cat),
-                    src
-                ),
+                Statement::Project { src, onto } => {
+                    writeln!(out, "R{} := π_{}(R{})", target, onto.to_notation(cat), src)
+                }
                 Statement::Semijoin { left, right } => writeln!(
                     out,
                     "R{} := R{} ⋉ R{}   -- {}",
@@ -410,7 +400,10 @@ mod tests {
         p.project(j, x);
         let (rels, stats) = p.execute_with_stats(&state);
         assert_eq!(stats.len(), 2);
-        assert_eq!(stats[0].input_tuples, state.rel(0).len() + state.rel(1).len());
+        assert_eq!(
+            stats[0].input_tuples,
+            state.rel(0).len() + state.rel(1).len()
+        );
         assert_eq!(stats[0].output_tuples, rels[4].len());
         assert_eq!(stats[1].output_tuples, rels[5].len());
         // plain execute agrees
@@ -421,10 +414,8 @@ mod tests {
     #[should_panic(expected = "no statements")]
     fn empty_program_has_no_output() {
         let (d, _, _) = setup();
-        let state = DbState::from_universal(
-            &Relation::new(d.attributes(), vec![vec![1, 2, 3, 4]]),
-            &d,
-        );
+        let state =
+            DbState::from_universal(&Relation::new(d.attributes(), vec![vec![1, 2, 3, 4]]), &d);
         Program::new(d).run(&state);
     }
 

@@ -54,8 +54,8 @@ pub fn solve_with_tree_projection(
         .map(|(s, &h)| rels[h].project(s))
         .collect();
     let member_state = DbState::new(&tp.schema, member_states);
-    let reduced = full_reduce(&tp.schema, &member_state)
-        .expect("a tree projection is a tree schema");
+    let reduced =
+        full_reduce(&tp.schema, &member_state).expect("a tree projection is a tree schema");
     // Some member contains X (the TP is taken w.r.t. … ∪ (X)).
     let holder = tp
         .schema
@@ -129,7 +129,10 @@ mod tests {
         let frozen = gyo_tableau::Tableau::standard(&d, &x).freeze();
         let i = Relation::new(frozen.attrs, frozen.tuples);
         let state = DbState::from_universal(&i, &d);
-        assert_eq!(solve_with_tree_projection(&p, &tp, &state, &x), q.eval(&state));
+        assert_eq!(
+            solve_with_tree_projection(&p, &tp, &state, &x),
+            q.eval(&state)
+        );
     }
 
     #[test]
@@ -148,7 +151,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(53);
         let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 25, 3);
         let state = DbState::from_universal(&i, &d);
-        assert_eq!(solve_with_tree_projection(&p, &tp, &state, &x), q.eval(&state));
+        assert_eq!(
+            solve_with_tree_projection(&p, &tp, &state, &x),
+            q.eval(&state)
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ use gyo_schema::{DbSchema, QualGraph};
 /// Panics if `d.len() > 6` (the enumeration is `2^(n(n−1)/2)`).
 pub fn minimum_qual_graphs(d: &DbSchema) -> Vec<QualGraph> {
     let n = d.len();
-    assert!(n <= 6, "minimum qual graph enumeration limited to ≤ 6 relations");
+    assert!(
+        n <= 6,
+        "minimum qual graph enumeration limited to ≤ 6 relations"
+    );
     if n == 0 {
         return vec![QualGraph::new(0, [])];
     }
@@ -198,8 +201,7 @@ mod tests {
             let d = db(s, &mut cat);
             assert!(is_tree_schema(&d));
             for round in 0..5 {
-                let i =
-                    gyo_workloads::random_universal(&mut rng, &d.attributes(), 25, 4);
+                let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 25, 4);
                 let state = DbState::from_universal(&i, &d);
                 assert!(is_ujr(&d, &state), "case {s}, round {round}");
             }

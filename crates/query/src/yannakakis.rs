@@ -133,7 +133,9 @@ pub fn solve_tree_query(d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Re
         let parent_acc = acc[parent].take().expect("parent still pending");
         acc[parent] = Some(parent_acc.natural_join(&pruned));
     }
-    let root_acc = acc[rooted.root].take().expect("root accumulates everything");
+    let root_acc = acc[rooted.root]
+        .take()
+        .expect("root accumulates everything");
     if root_acc.is_empty() {
         return Some(Relation::empty(x.clone()));
     }

@@ -105,7 +105,10 @@ mod tests {
         let mut cat = Catalog::alphabetic();
         let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
         let u = AttrSet::parse("abc", &mut cat).unwrap();
-        let i = Relation::new(u, vec![vec![1, 10, 100], vec![2, 20, 200], vec![3, 20, 201]]);
+        let i = Relation::new(
+            u,
+            vec![vec![1, 10, 100], vec![2, 20, 200], vec![3, 20, 201]],
+        );
         (d, cat, i)
     }
 
@@ -162,10 +165,7 @@ mod tests {
         let bc = AttrSet::parse("bc", &mut cat).unwrap();
         let state = DbState::new(
             &d,
-            vec![
-                Relation::new(ab, vec![vec![1, 2]]),
-                Relation::empty(bc),
-            ],
+            vec![Relation::new(ab, vec![vec![1, 2]]), Relation::empty(bc)],
         );
         assert!(state.join_all().is_empty());
         let x = AttrSet::parse("a", &mut cat).unwrap();

@@ -286,7 +286,12 @@ impl Relation {
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Relation({:?}, {} tuples)", self.attrs, self.tuples.len())
+        write!(
+            f,
+            "Relation({:?}, {} tuples)",
+            self.attrs,
+            self.tuples.len()
+        )
     }
 }
 

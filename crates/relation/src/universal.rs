@@ -90,7 +90,10 @@ mod tests {
             let once = join_of_projections(&i, &d);
             let twice = join_of_projections(&once, &d);
             assert_eq!(once, twice, "m_D must be idempotent for {schema}");
-            assert!(satisfies_jd(&once, &d), "m_D(I) must satisfy ⋈D for {schema}");
+            assert!(
+                satisfies_jd(&once, &d),
+                "m_D(I) must satisfy ⋈D for {schema}"
+            );
         }
     }
 

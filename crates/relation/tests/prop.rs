@@ -15,8 +15,7 @@ fn relation(attrs: Vec<u32>) -> impl Strategy<Value = Relation> {
 }
 
 fn any_relation() -> impl Strategy<Value = Relation> {
-    proptest::collection::vec(0u32..W as u32, 1..=W)
-        .prop_flat_map(relation)
+    proptest::collection::vec(0u32..W as u32, 1..=W).prop_flat_map(relation)
 }
 
 fn universal() -> impl Strategy<Value = Relation> {

@@ -93,9 +93,7 @@ pub fn find_isomorphism(a: &DbSchema, b: &DbSchema) -> Option<FxHashMap<AttrId, 
         }
         false
     }
-    if rec(
-        0, &ua, &ub, &sig_a, &sig_b, a, b, &mut image, &mut used,
-    ) {
+    if rec(0, &ua, &ub, &sig_a, &sig_b, a, b, &mut image, &mut used) {
         Some(
             ua.iter()
                 .enumerate()

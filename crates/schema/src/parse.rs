@@ -61,7 +61,9 @@ pub fn parse_set(s: &str, cat: &mut Catalog) -> Result<AttrSet, ParseError> {
         for name in t.split('.') {
             let name = name.trim();
             if name.is_empty() {
-                return Err(ParseError::EmptyAttribute { token: t.to_owned() });
+                return Err(ParseError::EmptyAttribute {
+                    token: t.to_owned(),
+                });
             }
             ids.push(cat.intern(name));
         }
@@ -73,10 +75,12 @@ pub fn parse_set(s: &str, cat: &mut Catalog) -> Result<AttrSet, ParseError> {
         Ok(AttrSet::from_iter([cat.lookup(t).expect("just checked")]))
     } else {
         let mut buf = [0u8; 4];
-        Ok(AttrSet::from_iter(t.chars().filter(|c| !c.is_whitespace()).map(|c| {
-            let name: &str = c.encode_utf8(&mut buf);
-            cat.intern(name)
-        })))
+        Ok(AttrSet::from_iter(
+            t.chars().filter(|c| !c.is_whitespace()).map(|c| {
+                let name: &str = c.encode_utf8(&mut buf);
+                cat.intern(name)
+            }),
+        ))
     }
 }
 

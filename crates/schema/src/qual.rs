@@ -245,7 +245,11 @@ impl JoinTree {
                 }
             }
         }
-        count == nodes.iter().collect::<std::collections::BTreeSet<_>>().len()
+        count
+            == nodes
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
     }
 
     /// Checks the paper's *attribute connectivity* fact (§3.1): for nodes

@@ -47,12 +47,7 @@ pub fn evaluate(t: &Tableau, universal: &[Vec<u64>]) -> Vec<Vec<u64>> {
     results
 }
 
-fn row_matches(
-    t: &Tableau,
-    row: usize,
-    tuple: &[u64],
-    binding: &FxHashMap<Symbol, u64>,
-) -> bool {
+fn row_matches(t: &Tableau, row: usize, tuple: &[u64], binding: &FxHashMap<Symbol, u64>) -> bool {
     t.rows()[row]
         .iter()
         .zip(tuple)
@@ -144,10 +139,7 @@ mod tests {
         // yields (a,c) ∈ {(1,3),(1,5),(4,3),(4,5)}.
         let i = vec![vec![1, 2, 3], vec![4, 2, 5]];
         let out = evaluate(&t, &i);
-        assert_eq!(
-            out,
-            vec![vec![1, 3], vec![1, 5], vec![4, 3], vec![4, 5]]
-        );
+        assert_eq!(out, vec![vec![1, 3], vec![1, 5], vec![4, 3], vec![4, 5]]);
     }
 
     #[test]
@@ -205,8 +197,8 @@ mod tests {
 
     /// Thin indirection so the dev-dependency surface stays explicit.
     mod gyo_relation_shim {
-        use gyo_schema::{AttrSet, DbSchema};
         pub use gyo_relation::Relation;
+        use gyo_schema::{AttrSet, DbSchema};
 
         pub fn relation(attrs: &AttrSet, rows: Vec<Vec<u64>>) -> Relation {
             Relation::new(attrs.clone(), rows)

@@ -361,7 +361,10 @@ mod tests {
                     assert_eq!(from, to);
                 } else {
                     let prev = sym.insert(from, to);
-                    assert!(prev.is_none() || prev == Some(to), "inconsistent composition");
+                    assert!(
+                        prev.is_none() || prev == Some(to),
+                        "inconsistent composition"
+                    );
                 }
             }
         }

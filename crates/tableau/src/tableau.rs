@@ -48,10 +48,7 @@ impl Tableau {
             d.attributes().is_subset(&attrs),
             "universe must contain U(D)"
         );
-        assert!(
-            x.is_subset(&attrs),
-            "target X must be a subset of U(D)"
-        );
+        assert!(x.is_subset(&attrs), "target X must be a subset of U(D)");
         let mut fresh = 0u32;
         let rows = d
             .iter()
@@ -167,11 +164,7 @@ impl Tableau {
     pub fn display(&self, cat: &Catalog) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let header: Vec<String> = self
-            .attrs
-            .iter()
-            .map(|a| cat.name(a).to_owned())
-            .collect();
+        let header: Vec<String> = self.attrs.iter().map(|a| cat.name(a).to_owned()).collect();
         writeln!(out, "  {}", header.join("\t")).expect("write to string");
         let summary: Vec<String> = self
             .attrs

@@ -68,7 +68,13 @@ fn collect_subsets(pool: &[AttrId], max_size: usize, out: &mut Vec<AttrSet>) {
     }
 }
 
-fn dfs(d: &DbSchema, candidates: &[AttrSet], k: usize, start: usize, chosen: &mut Vec<usize>) -> bool {
+fn dfs(
+    d: &DbSchema,
+    candidates: &[AttrSet],
+    k: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+) -> bool {
     let extended = chosen
         .iter()
         .fold(d.clone(), |acc, &c| acc.with_rel(candidates[c].clone()));
@@ -197,7 +203,9 @@ mod tests {
         assert_eq!(solve_treefication_exact(&d, 1, 5), None);
 
         // …but two bins of 3 suffice.
-        let fast = solve_aclique_treefication(&d, 2, 3).unwrap().expect("one each");
+        let fast = solve_aclique_treefication(&d, 2, 3)
+            .unwrap()
+            .expect("one each");
         assert_eq!(fast.len(), 2);
     }
 
@@ -208,7 +216,9 @@ mod tests {
         let added = solve_aclique_treefication(&d, 2, 7)
             .unwrap()
             .expect("3+4 | 3 fits");
-        let extended = added.iter().fold(d.clone(), |acc, r| acc.with_rel(r.clone()));
+        let extended = added
+            .iter()
+            .fold(d.clone(), |acc, r| acc.with_rel(r.clone()));
         assert!(is_tree_schema(&extended));
         let back = crate::reduction::treefication_witness_to_packing(&blocks, &added)
             .expect("blocks covered");

@@ -157,11 +157,10 @@ impl Search<'_> {
         self.budget -= 1;
 
         // First uncovered relation of D.
-        let uncovered = self.d.iter().find(|r| {
-            !chosen
-                .iter()
-                .any(|&c| r.is_subset(&self.pool[c]))
-        });
+        let uncovered = self
+            .d
+            .iter()
+            .find(|r| !chosen.iter().any(|&c| r.is_subset(&self.pool[c])));
         match uncovered {
             Some(r) => {
                 let candidate_ids: Vec<usize> = (0..self.pool.len())
@@ -177,8 +176,7 @@ impl Search<'_> {
                 false
             }
             None => {
-                let schema =
-                    DbSchema::new(chosen.iter().map(|&c| self.pool[c].clone()).collect());
+                let schema = DbSchema::new(chosen.iter().map(|&c| self.pool[c].clone()).collect());
                 if is_tree_schema(&schema) {
                     self.found = validate(&schema, self.d_p, self.d);
                     debug_assert!(self.found.is_some(), "search results must validate");

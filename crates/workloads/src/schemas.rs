@@ -29,11 +29,7 @@ pub fn chain(n: usize) -> DbSchema {
 /// `(A₀A₁, A₀A₂, …, A₀Aₙ)` — a tree-schema family whose join tree is a
 /// star.
 pub fn star(n: usize) -> DbSchema {
-    DbSchema::new(
-        (1..=n as u32)
-            .map(|i| AttrSet::from_raw(&[0, i]))
-            .collect(),
-    )
+    DbSchema::new((1..=n as u32).map(|i| AttrSet::from_raw(&[0, i])).collect())
 }
 
 /// The Aring of size `n` over attributes `0..n` (§3.1). Cyclic for `n ≥ 3`.

@@ -14,8 +14,16 @@ fn main() {
     let rungs = [
         ("ab, bc, cd", AcyclicityLevel::Gamma, "the chain"),
         ("abc, ab, bc", AcyclicityLevel::Beta, "§5.1's example"),
-        ("abc, ab, bc, ac", AcyclicityLevel::Alpha, "triangle with a roof"),
-        ("ab, bc, cd, da", AcyclicityLevel::Cyclic, "the Aring of size 4"),
+        (
+            "abc, ab, bc, ac",
+            AcyclicityLevel::Alpha,
+            "triangle with a roof",
+        ),
+        (
+            "ab, bc, cd, da",
+            AcyclicityLevel::Cyclic,
+            "the Aring of size 4",
+        ),
     ];
     println!("level   schema                 separating witness");
     println!("{:-<78}", "");
@@ -35,17 +43,12 @@ fn main() {
             }
             AcyclicityLevel::Alpha => {
                 let v = r.beta_witness.expect("α-not-β has a cyclic subset");
-                let names: Vec<String> =
-                    v.iter().map(|&i| d.rel(i).to_notation(&cat)).collect();
+                let names: Vec<String> = v.iter().map(|&i| d.rel(i).to_notation(&cat)).collect();
                 format!("cyclic sub-schema ({})", names.join(", "))
             }
             AcyclicityLevel::Cyclic => {
                 let w = r.cyclic_core.expect("Lemma 3.1 witness");
-                format!(
-                    "delete {} ⇒ {:?}",
-                    w.deleted.to_notation(&cat),
-                    w.kind
-                )
+                format!("delete {} ⇒ {:?}", w.deleted.to_notation(&cat), w.kind)
             }
         };
         println!("{:<7?} {:<22} {}  [{nickname}]", r.level, s, witness);

@@ -48,7 +48,11 @@ fn fig1() {
     let mut cat = Catalog::alphabetic();
     for s in ["ab, bc, cd", "ab, bc, ac", "abc, cde, ace, afe"] {
         let d = parse(s, &mut cat);
-        println!("    D = {:<28} type: {:?}", d.to_notation(&cat), classify(&d));
+        println!(
+            "    D = {:<28} type: {:?}",
+            d.to_notation(&cat),
+            classify(&d)
+        );
         show_tree(&d, &cat);
     }
     println!();
@@ -59,8 +63,16 @@ fn fig2() {
     let mut cat = Catalog::alphabetic();
     let ring = parse("ab, bc, cd, da", &mut cat);
     let clique = parse("bcd, acd, abd, abc", &mut cat);
-    println!("    (a) {} : {:?}", ring.to_notation(&cat), classify_core(&ring));
-    println!("    (b) {} : {:?}", clique.to_notation(&cat), classify_core(&clique));
+    println!(
+        "    (a) {} : {:?}",
+        ring.to_notation(&cat),
+        classify_core(&ring)
+    );
+    println!(
+        "    (b) {} : {:?}",
+        clique.to_notation(&cat),
+        classify_core(&clique)
+    );
     let d = parse("abce, bef, dif, cda, dab, bcd, cg", &mut cat);
     println!("    (c) D = {}", d.to_notation(&cat));
     for xs in ["abgi", "efgi"] {
@@ -90,7 +102,10 @@ fn fig3() {
     let f = gyo::find_containment(&t, &mid).unwrap();
     let g = gyo::find_containment(&mid, &small).unwrap();
     let composed: Vec<usize> = f.row_map.iter().map(|&j| g.row_map[j]).collect();
-    println!("    h1: {:?},  h: {:?},  h∘h1: {:?}", f.row_map, g.row_map, composed);
+    println!(
+        "    h1: {:?},  h: {:?},  h∘h1: {:?}",
+        f.row_map, g.row_map, composed
+    );
     println!();
 }
 
@@ -100,11 +115,13 @@ fn fig4() {
     let d = parse("ab, bc, acd, de", &mut cat);
     let path = vec![0, 1, 2, 3];
     let short = shorten_path(&d, &path);
-    let names = |p: &[usize]| -> Vec<String> {
-        p.iter().map(|&i| d.rel(i).to_notation(&cat)).collect()
-    };
+    let names =
+        |p: &[usize]| -> Vec<String> { p.iter().map(|&i| d.rel(i).to_notation(&cat)).collect() };
     println!("    before: {}", names(&path).join(" — "));
-    println!("    after : {}  (chord ab∩acd = a)", names(&short).join(" — "));
+    println!(
+        "    after : {}  (chord ab∩acd = a)",
+        names(&short).join(" — ")
+    );
     println!();
 }
 
@@ -118,7 +135,13 @@ fn fig5() {
     };
     let show = |c: &GammaCycle| -> String {
         (0..c.len())
-            .map(|i| format!("{}, {}", d.rel(c.rels[i]).to_notation(&cat), cat.name(c.attrs[i])))
+            .map(|i| {
+                format!(
+                    "{}, {}",
+                    d.rel(c.rels[i]).to_notation(&cat),
+                    cat.name(c.attrs[i])
+                )
+            })
             .collect::<Vec<_>>()
             .join(", ")
     };

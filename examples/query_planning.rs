@@ -17,7 +17,11 @@ use std::time::Instant;
 fn time<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = Instant::now();
     let out = f();
-    println!("  {:<28} {:>9.3} ms", label, start.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "  {:<28} {:>9.3} ms",
+        label,
+        start.elapsed().as_secs_f64() * 1e3
+    );
     out
 }
 

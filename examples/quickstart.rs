@@ -25,10 +25,7 @@ fn main() {
     for step in &red.trace {
         match *step {
             GyoStep::DeleteAttr { attr, rel } => {
-                println!(
-                    "  delete isolated attribute {} from R{rel}",
-                    cat.name(attr)
-                );
+                println!("  delete isolated attribute {} from R{rel}", cat.name(attr));
             }
             GyoStep::RemoveSubset { removed, witness } => {
                 println!("  eliminate R{removed} (subset of R{witness})");

@@ -16,9 +16,9 @@ fn main() {
     let schemas: Vec<String> = match arg {
         Some(s) => vec![s],
         None => vec![
-            "ab, bc, cd".to_owned(),             // γ-acyclic chain
-            "abc, ab, bc".to_owned(),            // tree but γ-cyclic (§5.1)
-            "ab, bc, cd, da".to_owned(),         // the Aring
+            "ab, bc, cd".to_owned(),                        // γ-acyclic chain
+            "abc, ab, bc".to_owned(),                       // tree but γ-cyclic (§5.1)
+            "ab, bc, cd, da".to_owned(),                    // the Aring
             "abce, bef, dif, cda, dab, bcd, cg".to_owned(), // Fig. 2c spirit
         ],
     };
@@ -38,7 +38,11 @@ fn report(s: &str) {
         }
     };
     println!("schema D = {}", d.to_notation(&cat));
-    println!("  |D| = {}, U(D) = {}", d.len(), d.attributes().to_notation(&cat));
+    println!(
+        "  |D| = {}, U(D) = {}",
+        d.len(),
+        d.attributes().to_notation(&cat)
+    );
 
     // --- acyclicity ladder ------------------------------------------------
     let kind = classify(&d);
@@ -80,9 +84,7 @@ fn report(s: &str) {
                     );
                 }
             } else {
-                println!(
-                    "  every connected sub-database has a lossless join (Cor. 5.3)"
-                );
+                println!("  every connected sub-database has a lossless join (Cor. 5.3)");
             }
         }
         SchemaKind::Cyclic => {

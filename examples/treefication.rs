@@ -34,7 +34,11 @@ fn main() {
     // --- the Theorem 4.2 reduction ------------------------------------------
     let (d, blocks) = bin_packing_to_treefication(&inst);
     let cat = gyo_workloads::numbered_catalog(d.attributes().len());
-    println!("\nreduced schema D: {} relations over {} attributes", d.len(), d.attributes().len());
+    println!(
+        "\nreduced schema D: {} relations over {} attributes",
+        d.len(),
+        d.attributes().len()
+    );
     println!("  (one Aclique per item; all attribute blocks disjoint)");
     println!("  D is cyclic: {}", classify(&d) == SchemaKind::Cyclic);
 
@@ -65,8 +69,16 @@ fn main() {
     let via_schema = solve_aclique_treefication(&d2, tight.bins, tight.capacity).unwrap();
     println!(
         "\nwith B = 7 instead: bin packing {} / treefication {}",
-        if solve_bin_packing(&tight).is_some() { "feasible" } else { "infeasible" },
-        if via_schema.is_some() { "feasible" } else { "infeasible" },
+        if solve_bin_packing(&tight).is_some() {
+            "feasible"
+        } else {
+            "infeasible"
+        },
+        if via_schema.is_some() {
+            "feasible"
+        } else {
+            "infeasible"
+        },
     );
 
     // --- the generic exact solver on a non-Aclique instance ------------------

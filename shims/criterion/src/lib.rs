@@ -1,0 +1,322 @@
+//! Offline stand-in for the subset of
+//! [`criterion`](https://docs.rs/criterion) that the workspace's bench
+//! targets use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal wall-clock harness with the same API: benches written
+//! against real Criterion ([`criterion_group!`]/[`criterion_main!`],
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], [`Bencher::iter`]) compile and run unchanged.
+//!
+//! What you get per benchmark is a single line —
+//! `group/function/param  time: [median ± spread]  (N samples × M iters)` —
+//! computed from medians over `sample_size` samples after a warm-up phase.
+//! No HTML reports, no statistical regression analysis, no comparison with
+//! saved baselines; when a future PR needs those, swapping this shim for the
+//! real crate is a manifest-only change.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness: measurement settings plus a registry of results.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time spent running the routine untimed before sampling begins.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    ///
+    /// The group starts from the parent's settings; overrides made through
+    /// the group stay scoped to it, as in the real crate.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            settings: self.clone(),
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().0;
+        let settings = self.clone();
+        run_one(&settings, &label, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks. Starts from the parent harness
+/// settings; overrides stay scoped to the group.
+pub struct BenchmarkGroup<'a> {
+    // Held only to keep the parent borrowed while the group is alive,
+    // matching the real crate's API shape.
+    _parent: &'a mut Criterion,
+    settings: Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Override the measurement budget for the rest of this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Run `f` as the benchmark `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&self.settings, &label, &mut f);
+        self
+    }
+
+    /// Run `f(bencher, input)` as the benchmark `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&self.settings, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group. (The real crate finalizes reports here; the shim has
+    /// already printed each result line.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group: a function name, a parameter
+/// value, or both.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just a parameter value (for groups whose axis is one parameter).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    /// Iterations to run in the current sample batch.
+    iters: u64,
+    /// Time the batch took; read back by the harness.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back calls of `routine`.
+    ///
+    /// Return values are passed through [`black_box`] so the optimizer
+    /// cannot delete the work, mirroring the real crate's contract.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Warm up, pick a batch size that fits the budget, take samples, report.
+fn run_one(settings: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up: also yields a first per-iteration estimate.
+    let mut iters: u64 = 1;
+    let warm_up_start = Instant::now();
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warm_up_start.elapsed() >= settings.warm_up_time {
+            break b
+                .elapsed
+                .checked_div(iters as u32)
+                .unwrap_or(Duration::ZERO);
+        }
+        iters = iters.saturating_mul(2).min(1 << 40);
+    };
+
+    // Batch size so that sample_size samples fill the measurement budget.
+    let per_sample = settings.measurement_time.as_nanos() / settings.sample_size as u128;
+    let batch = if per_iter.as_nanos() == 0 {
+        iters.max(1)
+    } else {
+        ((per_sample / per_iter.as_nanos().max(1)) as u64).clamp(1, 1 << 40)
+    };
+
+    let mut samples: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[samples.len() / 10];
+    let hi = samples[samples.len() - 1 - samples.len() / 10];
+
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples x {batch} iters)",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi),
+        settings.sample_size,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a group runner, optionally with a custom
+/// [`Criterion`] configuration — both real-crate forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main()` running the given [`criterion_group!`]s.
+///
+/// Cargo passes harness flags (`--bench`, filters) on the command line; the
+/// shim accepts and ignores them.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("chain", 100).0, "chain/100");
+        assert_eq!(BenchmarkId::from_parameter("grid").0, "grid");
+    }
+
+    #[test]
+    fn group_overrides_do_not_leak_to_parent() {
+        let mut c = Criterion::default().sample_size(10);
+        {
+            let mut group = c.benchmark_group("scoped");
+            group
+                .sample_size(3)
+                .measurement_time(Duration::from_millis(1));
+            assert_eq!(group.settings.sample_size, 3);
+            group.finish();
+        }
+        assert_eq!(c.sample_size, 10, "group override leaked into parent");
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for the subset of [`proptest`](https://docs.rs/proptest)
+//! that this workspace's property suites use.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a small random-testing harness exposing the same names the tests already
+//! import: the [`proptest!`] macro (with `#![proptest_config(..)]` and
+//! multiple `#[test]` functions whose arguments are drawn from strategies),
+//! [`Strategy`](strategy::Strategy) with `prop_map` / `prop_flat_map` /
+//! `prop_filter`, integer
+//! ranges and tuples as strategies, [`collection::vec`], [`arbitrary::any`],
+//! [`prop_assert!`] and [`prop_assert_eq!`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the case index; cases are
+//!   generated from a deterministic per-test seed, so every failure is
+//!   reproducible by rerunning the same test binary.
+//! * **Assertions panic** instead of returning `Err(TestCaseError)`; the
+//!   test body still has `Result` type so `return Ok(());` works unchanged.
+//! * `PROPTEST_CASES` (env var) caps the case count, like the real crate's
+//!   `ProptestConfig` env override — CI uses it to trade coverage for time.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!     // (in a test file this would also carry `#[test]`)
+//!     fn reverse_is_involutive(v in proptest::collection::vec(0u32..100, 0..10)) {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         prop_assert_eq!(v, w);
+//!     }
+//! }
+//! # reverse_is_involutive();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-line import for test files: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declare property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(N))]   // optional
+///     /// doc comments and other attributes are preserved
+///     #[test]
+///     fn name(arg in strategy_expr, ...) { body }
+///     ...
+/// }
+/// ```
+///
+/// Each function becomes a plain `#[test]` that draws `cases` inputs from
+/// the strategies and runs the body on each. The body is typed
+/// `Result<(), TestCaseError>`, so `return Ok(());` exits one case early.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                let test_path = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(test_path, case);
+                    let run = |rng: &mut $crate::test_runner::TestRng|
+                        -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                        { $body }
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    };
+                    if let Err(e) = run(&mut rng) {
+                        panic!("{test_path}: case {case}/{cases} rejected: {e}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Assert a boolean condition inside a [`proptest!`] body.
+///
+/// Panics on failure (the real crate returns `Err`; see the crate docs for
+/// why panicking is equivalent here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            panic!("prop_assert!({}) failed", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!("prop_assert!({}) failed: {}", stringify!($cond), format_args!($($fmt)+));
+        }
+    };
+}
+
+/// Assert two values are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&($left), &($right));
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq! failed\n  left: {:?}\n right: {:?}",
+                l, r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&($left), &($right));
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq! failed: {}\n  left: {:?}\n right: {:?}",
+                format_args!($($fmt)+), l, r
+            );
+        }
+    }};
+}
+
+/// Assert two values are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&($left), &($right));
+        if *l == *r {
+            panic!("prop_assert_ne! failed: both sides = {:?}", l);
+        }
+    }};
+}

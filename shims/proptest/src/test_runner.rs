@@ -1,0 +1,89 @@
+//! Configuration, the per-case RNG, and the error type test bodies return.
+
+use std::fmt;
+
+/// Per-suite configuration; only the `cases` knob is implemented.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// `cases`, capped by the `PROPTEST_CASES` environment variable when set
+    /// (CI uses this to bound runtime without touching the suites).
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(cap) => self.cases.min(cap.max(1)),
+            None => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case failed. Never constructed by the shim itself (assertions
+/// panic), but test bodies are typed `Result<(), TestCaseError>` so the
+/// `return Ok(());` early-exit idiom from the real crate keeps compiling.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The deterministic generator strategies draw from — the sibling rand
+/// shim's `StdRng`, wrapped (mirroring real proptest, whose `TestRng` is
+/// built on `rand`; one SplitMix64 implementation serves both shims).
+///
+/// Seeded from the test's module path and the case index, so (a) distinct
+/// tests explore distinct streams, (b) case `k` of a given test is the same
+/// on every run and machine — failures reproduce without a persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test identified by `path`.
+    pub fn for_case(path: &str, case: u32) -> Self {
+        use rand::SeedableRng;
+        // FNV-1a over the path, then mix in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(
+                h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ),
+        }
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        use rand::Rng;
+        self.inner.random_range(0..bound)
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

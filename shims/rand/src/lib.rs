@@ -1,0 +1,183 @@
+//! Offline stand-in for the subset of [`rand` 0.9](https://docs.rs/rand/0.9)
+//! that this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a tiny, dependency-free implementation of exactly the API surface the code
+//! calls: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_range`] and [`Rng::random_bool`]. Every RNG in the workspace
+//! is seeded explicitly (tests and benches want reproducibility), so no
+//! OS-entropy constructors are provided.
+//!
+//! The generator is SplitMix64 — statistically solid for test-workload
+//! generation, *not* cryptographic, and `random_range` uses a plain modulo
+//! (its bias is negligible for the small ranges used here). If the real
+//! `rand` ever becomes installable, deleting `shims/rand` and pointing the
+//! manifests at crates.io should be a drop-in swap.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x = rng.random_range(0..10u64);
+//! assert!(x < 10);
+//! let again = StdRng::seed_from_u64(42).random_range(0..10u64);
+//! assert_eq!(x, again); // same seed, same stream
+//! ```
+
+#![warn(missing_docs)]
+
+/// The raw source of randomness: a stream of `u64`s.
+///
+/// Mirrors `rand_core::RngCore`, reduced to the one method everything else
+/// derives from.
+pub trait RngCore {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators. Only the explicit-seed constructor is offered — all
+/// workspace call sites pin their seeds for reproducibility.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed. Equal seeds yield equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (matching `rand`'s `Rng: RngCore` extension-trait design, so
+/// `R: Rng + ?Sized` bounds work unchanged).
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// Panics if the range is empty, like the real `rand`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "random_bool: p = {p} not in [0, 1]"
+        );
+        // 53 high-quality mantissa bits -> uniform in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators ([`StdRng`](rngs::StdRng) only).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic 64-bit generator (SplitMix64).
+    ///
+    /// The real `StdRng` is a ChaCha cipher; this stand-in keeps the name so
+    /// call sites compile unchanged, and keeps the determinism contract:
+    /// the stream is a pure function of the seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014): the standard seeding
+            // mixer; passes BigCrush when used as a generator.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Range-sampling support for [`Rng::random_range`].
+pub mod distr {
+    use super::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Types usable as the argument of [`Rng::random_range`](super::Rng::random_range).
+    pub trait SampleRange<T> {
+        /// Draw one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "random_range: empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "random_range: empty range");
+                    let span = (end as u128) - (start as u128) + 1;
+                    start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range!(u8, u16, u32, u64, usize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism_and_bounds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.random_range(3..17u32);
+            assert_eq!(x, b.random_range(3..17u32));
+            assert!((3..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.random_range(0..=2usize)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn unsized_rng_bound_works() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random_range(0..100u64)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(draw(&mut rng) < 100);
+    }
+}

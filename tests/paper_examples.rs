@@ -110,7 +110,10 @@ fn lemma_3_1_on_the_paper_style_schema() {
         Some(CoreKind::Aclique(4))
     );
     let w = find_cyclic_core(&d).unwrap();
-    assert_eq!(classify_core(&d.delete_attrs(&w.deleted).reduce()), Some(w.kind));
+    assert_eq!(
+        classify_core(&d.delete_attrs(&w.deleted).reduce()),
+        Some(w.kind)
+    );
 }
 
 #[test]

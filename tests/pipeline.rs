@@ -118,7 +118,10 @@ fn theorem_6_1_pipeline_on_ring() {
     for _ in 0..6 {
         let i = random_universal(&mut rng, &d.attributes(), 25, 3);
         let state = ur_state(&i, &d);
-        assert_eq!(solve_with_tree_projection(&p, &tp, &state, &x), q.eval(&state));
+        assert_eq!(
+            solve_with_tree_projection(&p, &tp, &state, &x),
+            q.eval(&state)
+        );
     }
 }
 
@@ -128,7 +131,11 @@ fn theorem_6_1_pipeline_on_ring() {
 #[test]
 fn frozen_tableau_identity() {
     let mut cat = Catalog::alphabetic();
-    for (s, xs) in [("ab, bc", "ac"), ("ab, bc, cd, da", "bd"), ("abc, cde", "ae")] {
+    for (s, xs) in [
+        ("ab, bc", "ac"),
+        ("ab, bc, cd, da", "bd"),
+        ("abc, cde", "ae"),
+    ] {
         let d = DbSchema::parse(s, &mut cat).unwrap();
         let x = AttrSet::parse(xs, &mut cat).unwrap();
         let frozen = Tableau::standard(&d, &x).freeze();
