@@ -4,14 +4,15 @@
 //! Series: classification time vs. schema size for chains, stars, rings,
 //! cliques, grids, and random tree schemas, comparing the incremental GYO
 //! engine, the naive fixpoint engine, and the max-weight-spanning-tree
-//! method.
+//! method — plus the full-reduction engine comparison (naive join-all vs.
+//! per-call Yannakakis vs. the cached full-reducer engine).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gyo_bench::bench_rng;
 use gyo_core::reduce::{gyo_reduce_naive, is_tree_schema};
 use gyo_core::schema::qual::maximum_weight_join_tree;
-use gyo_core::AttrSet;
-use gyo_workloads::{aclique_n, aring_n, chain, grid, random_tree_schema, star};
+use gyo_core::{AttrSet, Engine, FullReducerEngine, IncrementalEngine, NaiveEngine};
+use gyo_workloads::{aclique_n, aring_n, chain, family_state, grid, random_tree_schema, star};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -52,6 +53,45 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full-reduction engines on noisy chain states: the naive engine pays a
+/// monolithic `⋈D` per call, the incremental engine re-derives the join
+/// tree per call, and the cached engine reuses the compiled semijoin plan.
+/// The acceptance target of this suite: `reduce_cached` beats
+/// `reduce_naive` by ≥10× at n = 128.
+fn bench_reduction_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify/engines");
+    let cached = FullReducerEngine::new();
+    for n in [8usize, 32, 128] {
+        let d = chain(n);
+        let mut rng = bench_rng();
+        // Domain tuned so the naive `⋈D` grows mildly but measurably along
+        // the chain (≈ e^(2.2·n/128) ≈ 9× at n = 128) — the paper's point:
+        // join intermediates grow with n, semijoin passes don't. Dangling
+        // noise rows give the full reducer real filtering work.
+        let state = family_state(&mut rng, &d, 256, 1 << 14, 32);
+        let reference = NaiveEngine.reduce(&d, &state).expect("naive reduces");
+        assert_eq!(
+            cached.reduce(&d, &state).expect("chain is a tree schema"),
+            reference,
+            "sanity"
+        );
+        group.bench_with_input(BenchmarkId::new("reduce_naive", n), &state, |b, state| {
+            b.iter(|| black_box(NaiveEngine.reduce(&d, state).unwrap().rel(0).len()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reduce_incremental", n),
+            &state,
+            |b, state| {
+                b.iter(|| black_box(IncrementalEngine.reduce(&d, state).unwrap().rel(0).len()))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reduce_cached", n), &state, |b, state| {
+            b.iter(|| black_box(cached.reduce(&d, state).unwrap().rel(0).len()))
+        });
+    }
+    group.finish();
+}
+
 fn bench_grids(c: &mut Criterion) {
     let mut group = c.benchmark_group("classify/grid");
     for side in [3usize, 6, 12] {
@@ -69,6 +109,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(900));
-    targets = bench_families, bench_engines, bench_grids
+    targets = bench_families, bench_engines, bench_reduction_engines, bench_grids
 }
 criterion_main!(benches);

@@ -4,10 +4,14 @@
 //! wins when joins are selective (semijoins shrink states before any join
 //! blows up); the monolithic join catches up when everything matches
 //! (nothing to filter). The crossover moves with the value-domain size.
+//! The `cached_engine` series runs the same Yannakakis pipeline through
+//! [`FullReducerEngine`], whose compiled plan amortizes the per-call GYO
+//! reduction and position derivations that `yannakakis` pays each time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gyo_bench::bench_rng;
 use gyo_core::prelude::*;
+use gyo_core::{Engine, FullReducerEngine};
 use gyo_workloads::{chain, random_universal};
 use std::hint::black_box;
 use std::time::Duration;
@@ -21,6 +25,7 @@ fn bench_selectivity_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("programs/selectivity");
     let d = chain(8);
     let x = target(&d);
+    let engine = FullReducerEngine::new();
     // Small domains = dense joins (low selectivity); large domains =
     // selective joins.
     for domain in [600u64, 1200, 2400, 9600] {
@@ -32,6 +37,11 @@ fn bench_selectivity_sweep(c: &mut Criterion) {
             state.eval_join_query(&x),
             "sanity"
         );
+        assert_eq!(
+            engine.answer(&d, &state, &x).unwrap(),
+            state.eval_join_query(&x),
+            "engine sanity"
+        );
         group.bench_with_input(BenchmarkId::new("join_only", domain), &state, |b, state| {
             b.iter(|| black_box(state.eval_join_query(&x).len()))
         });
@@ -40,12 +50,18 @@ fn bench_selectivity_sweep(c: &mut Criterion) {
             &state,
             |b, state| b.iter(|| black_box(solve_tree_query(&d, state, &x).unwrap().len())),
         );
+        group.bench_with_input(
+            BenchmarkId::new("cached_engine", domain),
+            &state,
+            |b, state| b.iter(|| black_box(engine.answer(&d, state, &x).unwrap().len())),
+        );
     }
     group.finish();
 }
 
 fn bench_size_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("programs/size");
+    let engine = FullReducerEngine::new();
     for n in [4usize, 8, 16] {
         let d = chain(n);
         let x = target(&d);
@@ -58,6 +74,9 @@ fn bench_size_sweep(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("yannakakis", n), &state, |b, state| {
             b.iter(|| black_box(solve_tree_query(&d, state, &x).unwrap().len()))
         });
+        group.bench_with_input(BenchmarkId::new("cached_engine", n), &state, |b, state| {
+            b.iter(|| black_box(engine.answer(&d, state, &x).unwrap().len()))
+        });
     }
     group.finish();
 }
@@ -67,6 +86,7 @@ fn bench_size_sweep(c: &mut Criterion) {
 /// Monolithic join cost grows like m^5; the full reducer stays ~m^2.
 fn bench_dead_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("programs/dead_end");
+    let engine = FullReducerEngine::new();
     for m in [4u64, 8, 12] {
         let d = chain(5);
         let x = target(&d);
@@ -86,6 +106,9 @@ fn bench_dead_end(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("yannakakis", m), &state, |b, state| {
             b.iter(|| black_box(solve_tree_query(&d, state, &x).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("cached_engine", m), &state, |b, state| {
+            b.iter(|| black_box(engine.answer(&d, state, &x).unwrap().len()))
         });
     }
     group.finish();

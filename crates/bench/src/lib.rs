@@ -57,6 +57,17 @@ pub fn pruning_family(tail: usize) -> (DbSchema, AttrSet) {
     (DbSchema::new(rels), AttrSet::from_raw(&[0, 1, 2]))
 }
 
+/// A tree variant of the §6 pruning family: a chain of `2 + tail` relations
+/// queried at its head (`X = {A₀, A₂}`), so `CC(D, X)` keeps only the first
+/// two relations and the whole tail is irrelevant. Unlike
+/// [`pruning_family`], whose core is cyclic, every sub-schema here is a
+/// tree schema — so the full-reducer engine can answer both the pruned and
+/// the unpruned query, quantifying how CC pruning composes with plan
+/// caching.
+pub fn tree_pruning_family(tail: usize) -> (DbSchema, AttrSet) {
+    (gyo_workloads::chain(2 + tail), AttrSet::from_raw(&[0, 2]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +87,15 @@ mod tests {
         assert_eq!(d.len(), 6);
         let pruned = prune_irrelevant(&d, &x);
         assert_eq!(pruned.schema.len(), 3, "tail is irrelevant");
+    }
+
+    #[test]
+    fn tree_pruning_family_prunes_to_the_head() {
+        let (d, x) = tree_pruning_family(5);
+        assert_eq!(d.len(), 7);
+        assert_eq!(classify(&d), SchemaKind::Tree);
+        let pruned = prune_irrelevant(&d, &x);
+        assert_eq!(pruned.schema.len(), 2, "only the head spine matters");
+        assert!(gyo_core::is_tree_schema(&pruned.schema));
     }
 }

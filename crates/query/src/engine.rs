@@ -1,0 +1,448 @@
+//! Query/reduction engines behind one trait, and the cached full-reducer
+//! engine.
+//!
+//! The paper's payoff for tree schemas is that a full reducer — `2·(n−1)`
+//! semijoins along a join tree — achieves global consistency, after which
+//! `(D, X)` is answered by joining up the tree with early projection
+//! (Bernstein–Chiu \[5\], Yannakakis \[18\]). This module promotes that
+//! pipeline from test support to a first-class [`Engine`], alongside the
+//! two reference paths it must agree with:
+//!
+//! * [`NaiveEngine`] — the definitional engine: materialize `⋈D`, project.
+//!   Works on *every* schema; serves as the ground truth and as the foil
+//!   the semijoin engines are measured against.
+//! * [`IncrementalEngine`] — the per-call Yannakakis path: re-derives the
+//!   join tree with the incremental GYO engine on every call, then runs the
+//!   full reducer. Correct, tree-only, no reuse across calls.
+//! * [`FullReducerEngine`] — the cached engine: compiles the join tree and
+//!   the semijoin program **once per schema** into a [`FullReducerPlan`]
+//!   (precompiled [`SemijoinStep`]s — shared attributes and column
+//!   positions resolved ahead of time), keyed by the schema's exact
+//!   relation-list identity, and reuses it across calls.
+//!
+//! All three implement [`Engine`]; the repo-level differential suite
+//! (`tests/engine_differential.rs`) holds them to identical answers on
+//! every workload family.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gyo_reduce::{gyo_reduce, join_tree_from_trace};
+use gyo_relation::{semijoin_program, DbState, Relation, SemijoinStep};
+use gyo_schema::{AttrSet, DbSchema, FxHashMap, RootedTree};
+
+use crate::program::Program;
+use crate::yannakakis::{
+    full_reduce, full_reducer_program_on_tree, join_up_tree, solve_tree_query,
+};
+
+/// A query/reduction engine: one strategy for making states globally
+/// consistent and answering natural-join queries `(D, X)`.
+///
+/// `None` means the engine does not support the schema (the semijoin
+/// engines are tree-only; full reducers do not exist for cyclic schemas).
+pub trait Engine {
+    /// A stable identifier for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Full reduction: returns a state with
+    /// `result[i] = π_{Rᵢ}(⋈ state)` for every `i`, or `None` when the
+    /// engine cannot reduce `d`.
+    fn reduce(&self, d: &DbSchema, state: &DbState) -> Option<DbState>;
+
+    /// Answers the query `(D, X)`: `π_X(⋈ state)`, or `None` when the
+    /// engine cannot solve on `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ⊄ U(D)`.
+    fn answer(&self, d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Relation>;
+}
+
+/// The definitional engine: materializes the full join. Supports every
+/// schema — tree or cyclic — at monolithic-join cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveEngine;
+
+impl Engine for NaiveEngine {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn reduce(&self, d: &DbSchema, state: &DbState) -> Option<DbState> {
+        let total = state.join_all();
+        Some(DbState::new(
+            d,
+            d.iter()
+                .map(|r| {
+                    if total.is_empty() {
+                        Relation::empty(r.clone())
+                    } else {
+                        total.project(r)
+                    }
+                })
+                .collect(),
+        ))
+    }
+
+    fn answer(&self, _d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Relation> {
+        Some(state.eval_join_query(x))
+    }
+}
+
+/// The per-call Yannakakis engine: re-runs the incremental GYO reduction to
+/// rebuild the join tree on every call, then full-reduces and answers along
+/// it. Tree schemas only; nothing is cached between calls — this is the
+/// baseline that quantifies what [`FullReducerEngine`]'s plan cache buys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncrementalEngine;
+
+impl Engine for IncrementalEngine {
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn reduce(&self, d: &DbSchema, state: &DbState) -> Option<DbState> {
+        full_reduce(d, state)
+    }
+
+    fn answer(&self, d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Relation> {
+        solve_tree_query(d, state, x)
+    }
+}
+
+/// A compiled full-reducer plan for one tree schema: the rooted join tree
+/// plus the `2·(n−1)` precompiled semijoin steps, with the §6 [`Program`]
+/// form alongside for inspection and notation rendering.
+#[derive(Clone, Debug)]
+pub struct FullReducerPlan {
+    rooted: RootedTree,
+    steps: Vec<SemijoinStep>,
+    program: Program,
+}
+
+impl FullReducerPlan {
+    /// Compiles the plan for `d`; `None` when `d` is cyclic.
+    fn compile(d: &DbSchema) -> Option<Self> {
+        let red = gyo_reduce(d, &AttrSet::empty());
+        let tree = join_tree_from_trace(d, &red)?;
+        let rooted = if d.is_empty() {
+            RootedTree {
+                root: 0,
+                parent: Vec::new(),
+                post_order: Vec::new(),
+            }
+        } else {
+            tree.rooted_at(0)
+        };
+        let mut steps = Vec::new();
+        if d.len() > 1 {
+            let schemas = d.rels();
+            for &v in &rooted.post_order {
+                if v != rooted.root {
+                    steps.push(SemijoinStep::new(schemas, rooted.parent[v], v));
+                }
+            }
+            for &v in rooted.post_order.iter().rev() {
+                if v != rooted.root {
+                    steps.push(SemijoinStep::new(schemas, v, rooted.parent[v]));
+                }
+            }
+        }
+        let program = full_reducer_program_on_tree(d, &rooted);
+        Some(Self {
+            rooted,
+            steps,
+            program,
+        })
+    }
+
+    /// The compiled semijoin steps, upward pass then downward pass.
+    pub fn steps(&self) -> &[SemijoinStep] {
+        &self.steps
+    }
+
+    /// The plan as a §6 semijoin [`Program`] (new-relation semantics).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The rooted join tree the plan reduces along.
+    ///
+    /// For the **empty schema** the tree has no nodes: `parent` and
+    /// `post_order` are empty and `root` is a placeholder `0` that must
+    /// not be used as an index.
+    pub fn rooted(&self) -> &RootedTree {
+        &self.rooted
+    }
+}
+
+/// The cached Yannakakis engine: full-reducer plans compiled once per
+/// schema and reused across calls.
+///
+/// The cache key is the schema's **exact relation list** (order and
+/// multiplicity included), not [`DbSchema`]'s multiset equality — a plan's
+/// step indices refer to relation positions, so two multiset-equal schemas
+/// with different relation orders get distinct plans. Any change to the
+/// schema therefore misses the cache and compiles afresh; stale plans are
+/// unreachable by construction. Cyclic outcomes are cached too, so
+/// repeatedly querying a cyclic schema costs one lookup, not one GYO
+/// reduction per call.
+#[derive(Debug, Default)]
+pub struct FullReducerEngine {
+    plans: Mutex<FxHashMap<Vec<AttrSet>, Option<Arc<FullReducerPlan>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FullReducerEngine {
+    /// A fresh engine with an empty plan cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached plan for `d`, compiling on first sight. `None` when `d`
+    /// is cyclic (this negative outcome is cached as well).
+    pub fn plan(&self, d: &DbSchema) -> Option<Arc<FullReducerPlan>> {
+        if let Some(cached) = self.plans.lock().expect("plan cache lock").get(d.rels()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = FullReducerPlan::compile(d).map(Arc::new);
+        self.plans
+            .lock()
+            .expect("plan cache lock")
+            .insert(d.rels().to_vec(), plan.clone());
+        plan
+    }
+
+    /// Drops every cached plan (the cache never *needs* manual
+    /// invalidation — keys are schema identities — but long-lived engines
+    /// can reclaim memory).
+    pub fn clear_cache(&self) {
+        self.plans.lock().expect("plan cache lock").clear();
+    }
+
+    /// Number of schemas with a cached outcome (including cached cyclic
+    /// verdicts).
+    pub fn cached_plan_count(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
+    }
+
+    /// `(hits, misses)` of the plan cache since construction.
+    #[cfg(test)]
+    pub(crate) fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn reduce_with_plan(&self, d: &DbSchema, state: &DbState, plan: &FullReducerPlan) -> DbState {
+        let mut rels = state.rels().to_vec();
+        semijoin_program(&mut rels, plan.steps());
+        DbState::new(d, rels)
+    }
+}
+
+impl Engine for FullReducerEngine {
+    fn name(&self) -> &'static str {
+        "full_reducer_cached"
+    }
+
+    fn reduce(&self, d: &DbSchema, state: &DbState) -> Option<DbState> {
+        let plan = self.plan(d)?;
+        Some(self.reduce_with_plan(d, state, &plan))
+    }
+
+    fn answer(&self, d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Relation> {
+        assert!(
+            x.is_subset(&d.attributes()),
+            "target X must be a subset of U(D)"
+        );
+        let plan = self.plan(d)?;
+        if d.is_empty() {
+            return Some(if x.is_empty() {
+                Relation::identity()
+            } else {
+                Relation::empty(x.clone())
+            });
+        }
+        let reduced = self.reduce_with_plan(d, state, &plan);
+        Some(join_up_tree(d, &reduced, x, plan.rooted()))
+    }
+}
+
+/// The three standard engines, boxed for differential harnesses.
+pub fn standard_engines() -> Vec<Box<dyn Engine + Send + Sync>> {
+    vec![
+        Box::new(NaiveEngine),
+        Box::new(IncrementalEngine),
+        Box::new(FullReducerEngine::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_schema::Catalog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db(s: &str, cat: &mut Catalog) -> DbSchema {
+        DbSchema::parse(s, cat).unwrap()
+    }
+
+    fn random_state(d: &DbSchema, seed: u64, rows: usize, domain: u64) -> DbState {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), rows, domain);
+        DbState::from_universal(&i, d)
+    }
+
+    #[test]
+    fn engines_agree_on_tree_schemas() {
+        let mut cat = Catalog::alphabetic();
+        let cached = FullReducerEngine::new();
+        for s in ["ab, bc, cd", "abc, cde, ace, afe", "ab, cd", "abc"] {
+            let d = db(s, &mut cat);
+            let state = random_state(&d, 0xE1, 25, 4);
+            let x = AttrSet::from_iter([
+                d.attributes().iter().next().unwrap(),
+                d.attributes().iter().last().unwrap(),
+            ]);
+            let naive = NaiveEngine;
+            let incr = IncrementalEngine;
+            let n_red = naive.reduce(&d, &state).unwrap();
+            assert_eq!(incr.reduce(&d, &state).unwrap(), n_red, "{s}");
+            assert_eq!(cached.reduce(&d, &state).unwrap(), n_red, "{s}");
+            let n_ans = naive.answer(&d, &state, &x).unwrap();
+            assert_eq!(incr.answer(&d, &state, &x).unwrap(), n_ans, "{s}");
+            assert_eq!(cached.answer(&d, &state, &x).unwrap(), n_ans, "{s}");
+        }
+    }
+
+    #[test]
+    fn semijoin_engines_decline_cyclic_schemas() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, ca", &mut cat);
+        let state = random_state(&d, 7, 10, 3);
+        let x = AttrSet::parse("ab", &mut cat).unwrap();
+        assert!(IncrementalEngine.reduce(&d, &state).is_none());
+        let cached = FullReducerEngine::new();
+        assert!(cached.reduce(&d, &state).is_none());
+        assert!(cached.answer(&d, &state, &x).is_none());
+        assert!(
+            NaiveEngine.reduce(&d, &state).is_some(),
+            "naive always works"
+        );
+    }
+
+    #[test]
+    fn plan_cache_hits_and_misses() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, cd", &mut cat);
+        let e = FullReducerEngine::new();
+        assert_eq!(e.cache_stats(), (0, 0));
+        assert!(e.plan(&d).is_some());
+        assert_eq!(e.cache_stats(), (0, 1), "first sight compiles");
+        assert!(e.plan(&d).is_some());
+        assert!(e.plan(&d.clone()).is_some());
+        assert_eq!(e.cache_stats(), (2, 1), "repeats hit");
+        assert_eq!(e.cached_plan_count(), 1);
+    }
+
+    #[test]
+    fn cyclic_outcome_is_cached_too() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, ca", &mut cat);
+        let e = FullReducerEngine::new();
+        assert!(e.plan(&d).is_none());
+        assert!(e.plan(&d).is_none());
+        assert_eq!(e.cache_stats(), (1, 1));
+        assert_eq!(e.cached_plan_count(), 1);
+    }
+
+    #[test]
+    fn schema_change_misses_the_cache() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc", &mut cat);
+        let e = FullReducerEngine::new();
+        assert!(e.plan(&d).is_some());
+        let mut grown = d.clone();
+        grown.push(AttrSet::parse("cd", &mut cat).unwrap());
+        assert!(e.plan(&grown).is_some());
+        assert_eq!(e.cache_stats(), (0, 2), "changed schema compiles afresh");
+        assert_eq!(e.cached_plan_count(), 2);
+        e.clear_cache();
+        assert_eq!(e.cached_plan_count(), 0);
+        assert!(e.plan(&d).is_some());
+        assert_eq!(e.cache_stats(), (0, 3), "cleared cache recompiles");
+    }
+
+    #[test]
+    fn plans_are_keyed_by_relation_order_not_multiset_equality() {
+        // (ab, bc, cd) and (cd, bc, ab) are equal as multisets — DbSchema's
+        // own Eq/Hash would collide — but a plan's step indices are
+        // positional, so the cache must treat them as distinct schemas.
+        let mut cat = Catalog::alphabetic();
+        let d1 = db("ab, bc, cd", &mut cat);
+        let d2 = db("cd, bc, ab", &mut cat);
+        assert!(d1 == d2, "precondition: multiset-equal");
+        let e = FullReducerEngine::new();
+        assert!(e.plan(&d1).is_some());
+        assert!(e.plan(&d2).is_some());
+        assert_eq!(
+            e.cache_stats(),
+            (0, 2),
+            "reordered schema is a distinct plan"
+        );
+        assert_eq!(e.cached_plan_count(), 2);
+        // ... and both plans answer their own schema correctly.
+        for d in [&d1, &d2] {
+            let state = random_state(d, 0xAB, 20, 3);
+            let x = AttrSet::parse("ad", &mut cat).unwrap();
+            assert_eq!(e.answer(d, &state, &x).unwrap(), state.eval_join_query(&x));
+        }
+    }
+
+    #[test]
+    fn cached_plan_has_2n_minus_2_steps_and_matches_program() {
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, cd, de", &mut cat);
+        let e = FullReducerEngine::new();
+        let plan = e.plan(&d).unwrap();
+        assert_eq!(plan.steps().len(), 2 * (4 - 1));
+        assert_eq!(plan.program().len(), 2 * (4 - 1));
+        assert_eq!(
+            plan.program(),
+            &crate::yannakakis::full_reducer_program(&d).unwrap()
+        );
+    }
+
+    #[test]
+    fn single_and_empty_schemas() {
+        let mut cat = Catalog::alphabetic();
+        let e = FullReducerEngine::new();
+        let d1 = db("abc", &mut cat);
+        let state = random_state(&d1, 3, 8, 3);
+        let x = AttrSet::parse("ac", &mut cat).unwrap();
+        assert_eq!(
+            e.answer(&d1, &state, &x).unwrap(),
+            state.eval_join_query(&x)
+        );
+        let d0 = DbSchema::empty();
+        let empty_state = DbState::new(&d0, vec![]);
+        assert_eq!(
+            e.answer(&d0, &empty_state, &AttrSet::empty()).unwrap(),
+            Relation::identity()
+        );
+        assert!(e.reduce(&d0, &empty_state).unwrap().is_empty());
+    }
+
+    #[test]
+    fn standard_engines_cover_the_three_paths() {
+        let names: Vec<&str> = standard_engines().iter().map(|e| e.name()).collect();
+        assert_eq!(names, ["naive", "incremental", "full_reducer_cached"]);
+    }
+}

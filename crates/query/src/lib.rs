@@ -13,6 +13,9 @@
 //!   schema mapping `P(D)`, execution, and empirical solvability checking;
 //! * [`yannakakis`] — the full reducer and the tree-query solver that §4's
 //!   "tree case" alludes to (semijoin programs à la Bernstein–Chiu);
+//! * [`engine`] — the [`Engine`] trait over the naive, per-call-Yannakakis,
+//!   and cached full-reducer evaluation strategies, with a schema-keyed
+//!   plan cache ([`FullReducerEngine`]);
 //! * [`treeify`] — §4's strategy for cyclic schemas: materialize
 //!   `U(GR(D))` (Corollary 3.2), then solve on the resulting tree schema;
 //! * [`tp_solve`] — the Theorem 6.1/6.2 construction: augment a program
@@ -20,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod equiv;
 pub mod lossless;
 pub mod optimize;
@@ -31,6 +35,9 @@ pub mod ujr;
 pub mod ur_transform;
 pub mod yannakakis;
 
+pub use engine::{
+    standard_engines, Engine, FullReducerEngine, FullReducerPlan, IncrementalEngine, NaiveEngine,
+};
 pub use equiv::{
     joins_only_solvable, prune_irrelevant, weakly_contained_semantic, weakly_equivalent,
     weakly_equivalent_semantic, PrunedQuery,

@@ -59,7 +59,7 @@ pub enum Statement {
 /// let _ans = p.project(top, AttrSet::parse("ac", &mut cat).unwrap());
 /// assert_eq!(p.p_of_d().len(), 4 + 4); // base + 4 created relations
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Program {
     base: DbSchema,
     stmts: Vec<Statement>,

@@ -10,7 +10,7 @@
 
 use gyo_reduce::{gyo_reduce, join_tree_from_trace};
 use gyo_relation::{DbState, Relation};
-use gyo_schema::{AttrSet, DbSchema, JoinTree};
+use gyo_schema::{AttrSet, DbSchema, JoinTree, RootedTree};
 
 use crate::program::Program;
 
@@ -25,11 +25,15 @@ use crate::program::Program;
 pub fn full_reducer_program(d: &DbSchema) -> Option<Program> {
     let red = gyo_reduce(d, &AttrSet::empty());
     let tree = join_tree_from_trace(d, &red)?;
-    let mut p = Program::new(d.clone());
     if d.len() <= 1 {
-        return Some(p);
+        return Some(Program::new(d.clone()));
     }
-    let rooted = tree.rooted_at(0);
+    Some(full_reducer_program_on_tree(d, &tree.rooted_at(0)))
+}
+
+/// The full-reducer [`Program`] along an already-rooted join tree.
+pub(crate) fn full_reducer_program_on_tree(d: &DbSchema, rooted: &RootedTree) -> Program {
+    let mut p = Program::new(d.clone());
     // current[v] = latest program relation holding node v's state
     let mut current: Vec<usize> = (0..d.len()).collect();
     // Upward pass: children before parents.
@@ -48,7 +52,7 @@ pub fn full_reducer_program(d: &DbSchema) -> Option<Program> {
         let parent = rooted.parent[v];
         current[v] = p.semijoin(current[v], current[parent]);
     }
-    Some(p)
+    p
 }
 
 /// Fully reduces a state over a tree schema in place-ish (returns the
@@ -104,9 +108,19 @@ pub fn solve_tree_query(d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Re
         });
     }
     let reduced = full_reduce_on_tree(d, state, &tree);
-    let rooted = tree.rooted_at(0);
+    Some(join_up_tree(d, &reduced, x, &tree.rooted_at(0)))
+}
 
-    // needed[v] = attributes of X present in the subtree rooted at v
+/// The join phase of the Yannakakis solver: joins a **fully reduced** state
+/// up the rooted join tree with early projection onto `X ∪ (attributes
+/// still needed by unjoined subtrees)`, then projects onto `X`.
+pub(crate) fn join_up_tree(
+    d: &DbSchema,
+    reduced: &DbState,
+    x: &AttrSet,
+    rooted: &RootedTree,
+) -> Relation {
+    // subtree_x[v] = attributes of X present in the subtree rooted at v
     // (used to prune columns as joins climb toward the root).
     let n = d.len();
     let mut subtree_x: Vec<AttrSet> = (0..n).map(|v| d.rel(v).intersect(x)).collect();
@@ -137,9 +151,9 @@ pub fn solve_tree_query(d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Re
         .take()
         .expect("root accumulates everything");
     if root_acc.is_empty() {
-        return Some(Relation::empty(x.clone()));
+        return Relation::empty(x.clone());
     }
-    Some(root_acc.project(x))
+    root_acc.project(x)
 }
 
 #[cfg(test)]

@@ -1,0 +1,321 @@
+//! Compiled semijoin programs over relation vectors.
+//!
+//! A full-reducer semijoin program applies `2·(n−1)` semijoins whose key
+//! attributes depend only on the relation *schemas*, never on the data.
+//! [`SemijoinStep`] precompiles the shared attribute set once per schema,
+//! and [`semijoin_program`] executes a whole step sequence without
+//! materializing intermediate relations: semijoins only ever *remove*
+//! tuples, so the executor tracks one alive-bitmask per slot and runs every
+//! step over the relations' cached flat key columns (keys of width ≤ 2
+//! packed into scalars) — no per-tuple heap chasing, no per-step allocation
+//! (membership scratch sets are reused across steps). Surviving tuples are materialized once, at the end, and
+//! only for slots that actually lost tuples.
+//!
+//! Because the key columns are cached *on the relations* (and shared by
+//! clones), repeated executions over the same state — the plan-cache usage
+//! pattern of the full-reducer engine — pay the column extraction only
+//! once.
+
+use gyo_schema::{AttrSet, FxHashSet};
+
+use crate::relation::{KeyColumn, Relation};
+
+/// One precompiled semijoin statement
+/// `rels[target] := rels[target] ⋉ rels[source]`, with the shared (key)
+/// attribute set derived ahead of execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemijoinStep {
+    target: usize,
+    source: usize,
+    shared: AttrSet,
+}
+
+impl SemijoinStep {
+    /// Compiles the step for fixed relation schemas (`schemas[i]` is the
+    /// attribute set of slot `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn new(schemas: &[AttrSet], target: usize, source: usize) -> Self {
+        let shared = schemas[target].intersect(&schemas[source]);
+        Self {
+            target,
+            source,
+            shared,
+        }
+    }
+
+    /// Slot of the relation being filtered (and overwritten).
+    #[inline]
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Slot of the relation filtered against.
+    #[inline]
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// The semijoin key: `schema(target) ∩ schema(source)`.
+    #[inline]
+    pub fn key(&self) -> &AttrSet {
+        &self.shared
+    }
+}
+
+/// Per-slot liveness: which tuples of the slot's relation still survive.
+struct Mask {
+    alive: Vec<bool>,
+    kept: usize,
+}
+
+impl Mask {
+    fn full(len: usize) -> Self {
+        Mask {
+            alive: vec![true; len],
+            kept: len,
+        }
+    }
+}
+
+/// Reusable membership scratch, one set per key width class.
+#[derive(Default)]
+struct Scratch {
+    one: FxHashSet<u64>,
+    two: FxHashSet<u128>,
+    wide: FxHashSet<Vec<u64>>,
+}
+
+/// Executes a compiled semijoin program in place:
+/// `rels[step.target] := rels[step.target] ⋉ rels[step.source]` for each
+/// step, in order. Unlike §6 program semantics (every statement creates a
+/// new relation), slots are overwritten — which is exactly the
+/// Bernstein–Chiu reading where each site updates its own state.
+///
+/// # Panics
+///
+/// Panics if a step's indices are out of range; debug builds also check
+/// that each step's compiled key matches the slot schemas.
+pub fn semijoin_program(rels: &mut [Relation], steps: &[SemijoinStep]) {
+    let mut masks: Vec<Option<Mask>> = (0..rels.len()).map(|_| None).collect();
+    let mut scratch = Scratch::default();
+    for step in steps {
+        debug_assert!(
+            step.shared.is_subset(rels[step.target].attrs())
+                && step.shared.is_subset(rels[step.source].attrs()),
+            "step compiled for different schemas"
+        );
+        apply_step(rels, &mut masks, &mut scratch, step);
+    }
+    for (rel, mask) in rels.iter_mut().zip(&masks) {
+        if let Some(m) = mask {
+            if m.kept < rel.len() {
+                *rel = rel.filter_by_mask(&m.alive, m.kept);
+            }
+        }
+    }
+}
+
+fn apply_step(
+    rels: &[Relation],
+    masks: &mut [Option<Mask>],
+    scratch: &mut Scratch,
+    step: &SemijoinStep,
+) {
+    let target = &rels[step.target];
+    let source = &rels[step.source];
+    let target_kept = masks[step.target].as_ref().map_or(target.len(), |m| m.kept);
+    if target_kept == 0 {
+        return; // ∅ ⋉ S = ∅
+    }
+    let source_kept = masks[step.source].as_ref().map_or(source.len(), |m| m.kept);
+    if source_kept == 0 {
+        // R ⋉ ∅ = ∅: kill the whole target.
+        let mask = masks[step.target].get_or_insert_with(|| Mask::full(target.len()));
+        mask.alive.fill(false);
+        mask.kept = 0;
+        return;
+    }
+
+    let source_col = source.key_column(&step.shared);
+    if matches!(*source_col, KeyColumn::Empty) {
+        return; // nonempty source, empty key: every target tuple matches
+    }
+    let target_col = target.key_column(&step.shared);
+
+    // Membership set over the source's surviving key values…
+    let source_alive = masks[step.source].as_ref().map(|m| m.alive.as_slice());
+    let alive_at = |alive: Option<&[bool]>, i: usize| alive.map_or(true, |a| a[i]);
+    match &*source_col {
+        KeyColumn::Empty => unreachable!("handled above"),
+        KeyColumn::One(vals) => {
+            scratch.one.clear();
+            for (i, &v) in vals.iter().enumerate() {
+                if alive_at(source_alive, i) {
+                    scratch.one.insert(v);
+                }
+            }
+        }
+        KeyColumn::Two(vals) => {
+            scratch.two.clear();
+            for (i, &v) in vals.iter().enumerate() {
+                if alive_at(source_alive, i) {
+                    scratch.two.insert(v);
+                }
+            }
+        }
+        KeyColumn::Wide(vals) => {
+            scratch.wide.clear();
+            for (i, v) in vals.iter().enumerate() {
+                if alive_at(source_alive, i) {
+                    scratch.wide.insert(v.clone());
+                }
+            }
+        }
+    }
+
+    // …then drop the target tuples whose key misses it.
+    let mask = masks[step.target].get_or_insert_with(|| Mask::full(target.len()));
+    match &*target_col {
+        KeyColumn::Empty => unreachable!("key widths match across a step"),
+        KeyColumn::One(vals) => {
+            for (alive, v) in mask.alive.iter_mut().zip(vals) {
+                if *alive && !scratch.one.contains(v) {
+                    *alive = false;
+                    mask.kept -= 1;
+                }
+            }
+        }
+        KeyColumn::Two(vals) => {
+            for (alive, v) in mask.alive.iter_mut().zip(vals) {
+                if *alive && !scratch.two.contains(v) {
+                    *alive = false;
+                    mask.kept -= 1;
+                }
+            }
+        }
+        KeyColumn::Wide(vals) => {
+            for (alive, v) in mask.alive.iter_mut().zip(vals) {
+                if *alive && !scratch.wide.contains(v) {
+                    *alive = false;
+                    mask.kept -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(raw: &[u32]) -> AttrSet {
+        AttrSet::from_raw(raw)
+    }
+
+    #[test]
+    fn step_compiles_shared_attributes() {
+        let schemas = vec![attrs(&[0, 1]), attrs(&[1, 2])];
+        let step = SemijoinStep::new(&schemas, 0, 1);
+        assert_eq!(step.target(), 0);
+        assert_eq!(step.source(), 1);
+        assert_eq!(step.key(), &attrs(&[1]));
+    }
+
+    #[test]
+    fn program_matches_sequential_semijoins() {
+        let schemas = vec![attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[2, 3])];
+        let mut rels = vec![
+            Relation::new(
+                schemas[0].clone(),
+                vec![vec![1, 10], vec![2, 20], vec![3, 30]],
+            ),
+            Relation::new(schemas[1].clone(), vec![vec![10, 100], vec![20, 200]]),
+            Relation::new(schemas[2].clone(), vec![vec![100, 7]]),
+        ];
+        let expected = {
+            let mut r = rels.clone();
+            r[1] = r[1].semijoin(&r[2]);
+            r[0] = r[0].semijoin(&r[1]);
+            r
+        };
+        let steps = vec![
+            SemijoinStep::new(&schemas, 1, 2),
+            SemijoinStep::new(&schemas, 0, 1),
+        ];
+        semijoin_program(&mut rels, &steps);
+        assert_eq!(rels, expected);
+        assert_eq!(rels[0].tuples(), &[vec![1, 10]]);
+    }
+
+    #[test]
+    fn masked_execution_respects_earlier_filtering() {
+        // The same slot is filtered twice; the second step must see the
+        // first step's surviving tuples, not the original relation.
+        let schemas = vec![attrs(&[0, 1]), attrs(&[1]), attrs(&[0])];
+        let mut rels = vec![
+            Relation::new(
+                schemas[0].clone(),
+                vec![vec![1, 10], vec![2, 10], vec![2, 20]],
+            ),
+            Relation::new(schemas[1].clone(), vec![vec![10]]),
+            // After step 1, slot 0 = {(1,10), (2,10)}; its a-values {1, 2}
+            // both hit slot 2, but slot 2 is then filtered by slot 0 too.
+            Relation::new(schemas[2].clone(), vec![vec![1], vec![3]]),
+        ];
+        let steps = vec![
+            SemijoinStep::new(&schemas, 0, 1), // drop (2,20)
+            SemijoinStep::new(&schemas, 2, 0), // keep a=1, drop a=3
+            SemijoinStep::new(&schemas, 0, 2), // keep only a=1 rows
+        ];
+        semijoin_program(&mut rels, &steps);
+        assert_eq!(rels[0].tuples(), &[vec![1, 10]]);
+        assert_eq!(rels[2].tuples(), &[vec![1]]);
+    }
+
+    #[test]
+    fn disjoint_step_keeps_or_empties() {
+        let schemas = vec![attrs(&[0]), attrs(&[5])];
+        let mut rels = vec![
+            Relation::new(schemas[0].clone(), vec![vec![1]]),
+            Relation::new(schemas[1].clone(), vec![vec![9]]),
+        ];
+        let step = SemijoinStep::new(&schemas, 0, 1);
+        assert!(step.key().is_empty());
+        semijoin_program(&mut rels, std::slice::from_ref(&step));
+        assert_eq!(rels[0].len(), 1, "disjoint nonempty source keeps tuples");
+
+        rels[1] = Relation::empty(attrs(&[5]));
+        semijoin_program(&mut rels, std::slice::from_ref(&step));
+        assert!(rels[0].is_empty(), "disjoint empty source annihilates");
+    }
+
+    #[test]
+    fn wide_keys_fall_back_correctly() {
+        let schemas = vec![attrs(&[0, 1, 2, 3]), attrs(&[0, 1, 2, 9])];
+        let mut rels = vec![
+            Relation::new(
+                schemas[0].clone(),
+                vec![vec![1, 2, 3, 4], vec![1, 2, 9, 4], vec![5, 6, 7, 8]],
+            ),
+            Relation::new(schemas[1].clone(), vec![vec![1, 2, 3, 0], vec![5, 6, 0, 0]]),
+        ];
+        let expected = rels[0].semijoin(&rels[1]);
+        semijoin_program(&mut rels, &[SemijoinStep::new(&schemas, 0, 1)]);
+        assert_eq!(rels[0], expected);
+        assert_eq!(rels[0].len(), 1);
+    }
+
+    #[test]
+    fn empty_target_short_circuits() {
+        let schemas = vec![attrs(&[0, 1]), attrs(&[1, 2])];
+        let mut rels = vec![
+            Relation::empty(schemas[0].clone()),
+            Relation::new(schemas[1].clone(), vec![vec![1, 2]]),
+        ];
+        semijoin_program(&mut rels, &[SemijoinStep::new(&schemas, 0, 1)]);
+        assert!(rels[0].is_empty());
+    }
+}

@@ -13,7 +13,15 @@
 //!   [`DbSchema`](gyo_schema::DbSchema);
 //! * [`universal`] — universal relations, the join-of-projections operator
 //!   `m_D` (the chase for join dependencies), and join-dependency
-//!   satisfaction `I ⊨ ⋈D`.
+//!   satisfaction `I ⊨ ⋈D`;
+//! * [`exec`] — precompiled semijoin steps ([`SemijoinStep`]) and the
+//!   batched [`semijoin_program`] executor used by the cached full-reducer
+//!   engine.
+//!
+//! The hot paths are cache-assisted: every [`Relation`] lazily memoizes, per
+//! key attribute set, its column positions and its hash-join build table, so
+//! repeated joins and semijoins against the same relation (or clones of it)
+//! skip the rebuild.
 //!
 //! Values are plain `u64`; the library's semantic oracles only need equality
 //! on values, never arithmetic or ordering semantics.
@@ -21,9 +29,11 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod exec;
 pub mod relation;
 pub mod universal;
 
 pub use database::DbState;
+pub use exec::{semijoin_program, SemijoinStep};
 pub use relation::Relation;
 pub use universal::{join_of_projections, satisfies_jd};

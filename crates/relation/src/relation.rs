@@ -1,8 +1,86 @@
 //! Relations (sets of tuples) and the natural-join algebra.
 
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use gyo_schema::{AttrId, AttrSet, Catalog, FxHashMap};
+
+/// A hash index over one key-attribute set: key values (in [`AttrSet`]
+/// column order) → indices of the tuples carrying them.
+pub(crate) type KeyIndex = FxHashMap<Vec<u64>, Vec<usize>>;
+
+/// Lazily built per-relation derivations, keyed by the [`AttrSet`] they were
+/// derived for: column positions (for projections and semijoin probes) and
+/// hash-join build tables (for `⋈`/`⋉` against this relation).
+///
+/// A [`Relation`]'s attribute set and tuples never change after
+/// construction, so cached derivations stay valid for the relation's whole
+/// life; clones share the cache (same tuples ⟹ same derivations). The cache
+/// is invisible to equality and never allocated until first use.
+#[derive(Default)]
+struct RelCache {
+    slot: OnceLock<Arc<Mutex<CacheInner>>>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    positions: FxHashMap<AttrSet, Arc<Vec<usize>>>,
+    builds: FxHashMap<AttrSet, Arc<KeyIndex>>,
+    columns: FxHashMap<AttrSet, Arc<KeyColumn>>,
+}
+
+/// A relation's key values over one key-attribute set, extracted into flat,
+/// cache-friendly storage (row `i` of the column is tuple `i`'s key). Keys
+/// of width ≤ 2 pack exactly into scalars, so the batched executor's inner
+/// loops never chase per-tuple heap pointers.
+#[derive(Debug)]
+pub(crate) enum KeyColumn {
+    /// Width-0 key: every tuple has the empty key.
+    Empty,
+    /// Width-1 key: the single key value per tuple.
+    One(Vec<u64>),
+    /// Width-2 key: both values packed into one `u128` per tuple.
+    Two(Vec<u128>),
+    /// Width ≥ 3: one boxed key per tuple (rare in tree schemas).
+    Wide(Vec<Vec<u64>>),
+}
+
+impl KeyColumn {
+    fn extract(tuples: &[Vec<u64>], pos: &[usize]) -> Self {
+        match *pos {
+            [] => KeyColumn::Empty,
+            [p] => KeyColumn::One(tuples.iter().map(|t| t[p]).collect()),
+            [p, q] => KeyColumn::Two(
+                tuples
+                    .iter()
+                    .map(|t| (t[p] as u128) << 64 | t[q] as u128)
+                    .collect(),
+            ),
+            _ => KeyColumn::Wide(
+                tuples
+                    .iter()
+                    .map(|t| pos.iter().map(|&p| t[p]).collect())
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl RelCache {
+    fn inner(&self) -> &Mutex<CacheInner> {
+        self.slot.get_or_init(Arc::default)
+    }
+}
+
+impl Clone for RelCache {
+    fn clone(&self) -> Self {
+        let cache = RelCache::default();
+        if let Some(shared) = self.slot.get() {
+            let _ = cache.slot.set(Arc::clone(shared));
+        }
+        cache
+    }
+}
 
 /// A relation state: a *set* of tuples over an attribute set.
 ///
@@ -29,11 +107,29 @@ use gyo_schema::{AttrId, AttrSet, Catalog, FxHashMap};
 /// assert_eq!(j.len(), 1); // only b=10 matches
 /// assert_eq!(j.tuples()[0], vec![1, 10, 100]);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
 pub struct Relation {
     attrs: AttrSet,
     tuples: Vec<Vec<u64>>,
+    cache: RelCache,
 }
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Self {
+            attrs: self.attrs.clone(),
+            tuples: self.tuples.clone(),
+            cache: self.cache.clone(),
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.attrs == other.attrs && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// Creates a relation, validating arity and normalizing (sort + dedup).
@@ -53,24 +149,32 @@ impl Relation {
         }
         tuples.sort_unstable();
         tuples.dedup();
-        Self { attrs, tuples }
+        Self {
+            attrs,
+            tuples,
+            cache: RelCache::default(),
+        }
+    }
+
+    /// Internal constructor for tuples already sorted and deduplicated.
+    fn from_normalized(attrs: AttrSet, tuples: Vec<Vec<u64>>) -> Self {
+        debug_assert!(tuples.windows(2).all(|w| w[0] < w[1]), "not normalized");
+        Self {
+            attrs,
+            tuples,
+            cache: RelCache::default(),
+        }
     }
 
     /// The empty relation over `attrs` (no tuples).
     pub fn empty(attrs: AttrSet) -> Self {
-        Self {
-            attrs,
-            tuples: Vec::new(),
-        }
+        Self::from_normalized(attrs, Vec::new())
     }
 
     /// The join identity: the relation over `∅` holding the single empty
     /// tuple.
     pub fn identity() -> Self {
-        Self {
-            attrs: AttrSet::empty(),
-            tuples: vec![Vec::new()],
-        }
+        Self::from_normalized(AttrSet::empty(), vec![Vec::new()])
     }
 
     /// The relation's attribute set.
@@ -121,6 +225,102 @@ impl Relation {
             .collect()
     }
 
+    /// Cached [`Self::positions_of`]: the first call per `attrs` derives the
+    /// positions, later calls (including on clones) return the shared copy.
+    pub(crate) fn positions_cached(&self, attrs: &AttrSet) -> Arc<Vec<usize>> {
+        let mut inner = self.cache.inner().lock().expect("relation cache lock");
+        if let Some(pos) = inner.positions.get(attrs) {
+            return Arc::clone(pos);
+        }
+        let pos = Arc::new(self.positions_of(attrs));
+        inner.positions.insert(attrs.clone(), Arc::clone(&pos));
+        pos
+    }
+
+    /// The hash-join build table over `key ⊆ attrs(self)`: key values (in
+    /// column order) → indices of the tuples carrying them. Built once per
+    /// key set and cached, so repeated joins/semijoins against this relation
+    /// (or clones of it) reuse the build.
+    pub(crate) fn key_index(&self, key: &AttrSet) -> Arc<KeyIndex> {
+        if let Some(table) = self
+            .cache
+            .inner()
+            .lock()
+            .expect("relation cache lock")
+            .builds
+            .get(key)
+        {
+            return Arc::clone(table);
+        }
+        // Build outside the lock: the derivation is pure, so a racing
+        // builder at worst duplicates work.
+        let pos = self.positions_of(key);
+        let mut table = KeyIndex::default();
+        let mut scratch: Vec<u64> = Vec::with_capacity(pos.len());
+        for (i, t) in self.tuples.iter().enumerate() {
+            scratch.clear();
+            scratch.extend(pos.iter().map(|&p| t[p]));
+            if let Some(bucket) = table.get_mut(scratch.as_slice()) {
+                bucket.push(i);
+            } else {
+                table.insert(scratch.clone(), vec![i]);
+            }
+        }
+        let table = Arc::new(table);
+        self.cache
+            .inner()
+            .lock()
+            .expect("relation cache lock")
+            .builds
+            .entry(key.clone())
+            .or_insert_with(|| Arc::clone(&table))
+            .clone()
+    }
+
+    /// The flat key column over `key ⊆ attrs(self)` (see [`KeyColumn`]),
+    /// extracted once and cached — the batched semijoin executor reads
+    /// these instead of chasing per-tuple heap pointers.
+    pub(crate) fn key_column(&self, key: &AttrSet) -> Arc<KeyColumn> {
+        if let Some(col) = self
+            .cache
+            .inner()
+            .lock()
+            .expect("relation cache lock")
+            .columns
+            .get(key)
+        {
+            return Arc::clone(col);
+        }
+        let pos = self.positions_of(key);
+        let col = Arc::new(KeyColumn::extract(&self.tuples, &pos));
+        self.cache
+            .inner()
+            .lock()
+            .expect("relation cache lock")
+            .columns
+            .entry(key.clone())
+            .or_insert_with(|| Arc::clone(&col))
+            .clone()
+    }
+
+    /// The relation restricted to the tuples whose mask bit is set
+    /// (`mask.len() == self.len()`); `kept` is the popcount. Returns a
+    /// plain clone when everything survives.
+    pub(crate) fn filter_by_mask(&self, mask: &[bool], kept: usize) -> Relation {
+        debug_assert_eq!(mask.len(), self.tuples.len());
+        if kept == self.tuples.len() {
+            return self.clone();
+        }
+        let tuples: Vec<Vec<u64>> = self
+            .tuples
+            .iter()
+            .zip(mask)
+            .filter(|(_, &alive)| alive)
+            .map(|(t, _)| t.clone())
+            .collect();
+        Relation::from_normalized(self.attrs.clone(), tuples)
+    }
+
     /// Projection `π_X(self)`.
     ///
     /// # Panics
@@ -134,7 +334,7 @@ impl Relation {
         if *x == self.attrs {
             return self.clone();
         }
-        let pos = self.positions_of(x);
+        let pos = self.positions_cached(x);
         let mut tuples: Vec<Vec<u64>> = self
             .tuples
             .iter()
@@ -142,10 +342,7 @@ impl Relation {
             .collect();
         tuples.sort_unstable();
         tuples.dedup();
-        Relation {
-            attrs: x.clone(),
-            tuples,
-        }
+        Relation::from_normalized(x.clone(), tuples)
     }
 
     /// Natural join `self ⋈ other` (a cross product when the schemas are
@@ -160,8 +357,7 @@ impl Relation {
         let shared = build.attrs.intersect(&probe.attrs);
         let out_attrs = build.attrs.union(&probe.attrs);
 
-        let build_key = build.positions_of(&shared);
-        let probe_key = probe.positions_of(&shared);
+        let probe_key = probe.positions_cached(&shared);
         // Output columns: for each output attribute, where to copy it from.
         // Prefer the probe side so probe tuples copy contiguously when the
         // schemas are disjoint.
@@ -183,18 +379,14 @@ impl Relation {
             })
             .collect();
 
-        let mut table: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
-        for (i, t) in build.tuples.iter().enumerate() {
-            let key: Vec<u64> = build_key.iter().map(|&p| t[p]).collect();
-            table.entry(key).or_default().push(i);
-        }
+        let table = build.key_index(&shared);
 
         let mut tuples = Vec::new();
         let mut key = Vec::with_capacity(probe_key.len());
         for pt in &probe.tuples {
             key.clear();
             key.extend(probe_key.iter().map(|&p| pt[p]));
-            if let Some(matches) = table.get(&key) {
+            if let Some(matches) = table.get(key.as_slice()) {
                 for &bi in matches {
                     let bt = &build.tuples[bi];
                     let out: Vec<u64> = srcs
@@ -210,36 +402,36 @@ impl Relation {
         }
         tuples.sort_unstable();
         tuples.dedup();
-        Relation {
-            attrs: out_attrs,
-            tuples,
-        }
+        Relation::from_normalized(out_attrs, tuples)
     }
 
     /// Natural semijoin `self ⋉ other = π_self(self ⋈ other)`, computed
-    /// directly by filtering (no join materialization).
+    /// directly by filtering (no join materialization). The build over
+    /// `other`'s key columns comes from its cache, so repeated semijoins
+    /// against the same relation reuse it.
     pub fn semijoin(&self, other: &Relation) -> Relation {
         let shared = self.attrs.intersect(&other.attrs);
-        let my_key = self.positions_of(&shared);
-        let other_key = other.positions_of(&shared);
-        let mut keys: FxHashMap<Vec<u64>, ()> = FxHashMap::default();
-        for t in &other.tuples {
-            keys.insert(other_key.iter().map(|&p| t[p]).collect(), ());
-        }
+        let my_key = self.positions_cached(&shared);
+        let index = other.key_index(&shared);
+        self.semijoin_filtered(&my_key, &index)
+    }
+
+    /// The probe half of a semijoin: keeps the tuples whose `my_key` columns
+    /// hit `index`. Reuses one scratch key buffer across probe tuples.
+    pub(crate) fn semijoin_filtered(&self, my_key: &[usize], index: &KeyIndex) -> Relation {
+        let mut key: Vec<u64> = Vec::with_capacity(my_key.len());
         let tuples: Vec<Vec<u64>> = self
             .tuples
             .iter()
             .filter(|t| {
-                let key: Vec<u64> = my_key.iter().map(|&p| t[p]).collect();
-                keys.contains_key(&key)
+                key.clear();
+                key.extend(my_key.iter().map(|&p| t[p]));
+                index.contains_key(key.as_slice())
             })
             .cloned()
             .collect();
         // already sorted and unique: filtering preserves both
-        Relation {
-            attrs: self.attrs.clone(),
-            tuples,
-        }
+        Relation::from_normalized(self.attrs.clone(), tuples)
     }
 
     /// Set union of two relations over the same attribute set.
@@ -253,10 +445,7 @@ impl Relation {
         tuples.extend(other.tuples.iter().cloned());
         tuples.sort_unstable();
         tuples.dedup();
-        Relation {
-            attrs: self.attrs.clone(),
-            tuples,
-        }
+        Relation::from_normalized(self.attrs.clone(), tuples)
     }
 
     /// Whether `self ⊆ other` as tuple sets (same attribute set required).
@@ -400,6 +589,42 @@ mod tests {
         assert_eq!(u.len(), 2);
         assert!(r.is_subset(&u));
         assert!(!u.is_subset(&r));
+    }
+
+    #[test]
+    fn clones_share_derivation_caches() {
+        let r = Relation::new(attrs(&[0, 1]), vec![vec![1, 10], vec![2, 20]]);
+        let key = attrs(&[1]);
+        let idx = r.key_index(&key);
+        assert_eq!(idx.len(), 2);
+        let clone = r.clone();
+        assert!(
+            Arc::ptr_eq(&idx, &clone.key_index(&key)),
+            "clone reuses the build"
+        );
+        assert!(Arc::ptr_eq(
+            &r.positions_cached(&key),
+            &clone.positions_cached(&key)
+        ));
+    }
+
+    #[test]
+    fn equality_ignores_caches() {
+        let a = Relation::new(attrs(&[0, 1]), vec![vec![1, 2]]);
+        let b = Relation::new(attrs(&[0, 1]), vec![vec![1, 2]]);
+        let _ = a.key_index(&attrs(&[0]));
+        assert_eq!(a, b);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn cached_build_survives_repeated_semijoins() {
+        let r = Relation::new(attrs(&[0, 1]), vec![vec![1, 10], vec![2, 20]]);
+        let hub = Relation::new(attrs(&[1, 2]), vec![vec![10, 5], vec![30, 6]]);
+        let first = r.semijoin(&hub);
+        let second = r.semijoin(&hub); // hits hub's cached key index
+        assert_eq!(first, second);
+        assert_eq!(first.tuples(), &[vec![1, 10]]);
     }
 
     #[test]

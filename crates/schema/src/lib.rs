@@ -34,5 +34,5 @@ pub use attrset::AttrSet;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use iso::{are_isomorphic, find_isomorphism};
 pub use parse::{parse_db, parse_set, ParseError};
-pub use qual::{JoinTree, QualGraph};
+pub use qual::{JoinTree, QualGraph, RootedTree};
 pub use schema::DbSchema;

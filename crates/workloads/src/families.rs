@@ -1,0 +1,119 @@
+//! Named workload families for cross-engine differential testing and the
+//! engine benchmarks.
+//!
+//! The differential suite (`tests/engine_differential.rs`) and the
+//! `classify/engines` benches need the *same* enumerable set of schema
+//! families so "all engines agree on every family" is one loop, not five
+//! copies. [`engine_families`] returns that set — the three deterministic
+//! tree shapes, the two canonical cyclic shapes, and a randomized tree —
+//! and [`family_state`] builds the matching noisy (non-UR) database state
+//! whose dangling tuples are what full reducers exist to remove.
+
+use gyo_relation::DbState;
+use gyo_schema::DbSchema;
+use rand::Rng;
+
+use crate::data::{noisy_ur_state, random_universal};
+use crate::schemas::{aring_n, chain, grid, random_tree_schema, star};
+
+/// A named schema drawn from one of the benchmark families.
+#[derive(Clone, Debug)]
+pub struct FamilySchema {
+    /// Family name (`chain`, `star`, `ring`, `grid`, `random_tree`).
+    pub name: &'static str,
+    /// The generated schema.
+    pub schema: DbSchema,
+}
+
+/// One schema per engine-workload family at roughly `scale` relations:
+/// chains, stars, rings, grids, and random trees. Rings and (non-degenerate)
+/// grids are cyclic — exactly the schemas the semijoin engines must
+/// *decline* while the naive engine still answers.
+pub fn engine_families<R: Rng + ?Sized>(rng: &mut R, scale: usize) -> Vec<FamilySchema> {
+    let scale = scale.max(3);
+    // Side length so the grid has about `scale` edge relations.
+    let side = (2..)
+        .find(|s| 2 * s * (s - 1) >= scale)
+        .expect("2s(s-1) is unbounded in s");
+    vec![
+        FamilySchema {
+            name: "chain",
+            schema: chain(scale),
+        },
+        FamilySchema {
+            name: "star",
+            schema: star(scale),
+        },
+        FamilySchema {
+            name: "ring",
+            schema: aring_n(scale),
+        },
+        FamilySchema {
+            name: "grid",
+            schema: grid(side, side),
+        },
+        FamilySchema {
+            name: "random_tree",
+            schema: random_tree_schema(rng, scale, 2 * scale, 0.4),
+        },
+    ]
+}
+
+/// A noisy (non-UR) state for `d`: the UR projections of a fresh random
+/// universal relation over `U(D)` plus `noise_rows` random tuples per
+/// relation. With `noise_rows = 0` this is a plain UR state.
+pub fn family_state<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &DbSchema,
+    rows: usize,
+    domain: u64,
+    noise_rows: usize,
+) -> DbState {
+    let i = random_universal(rng, &d.attributes(), rows, domain);
+    noisy_ur_state(rng, &i, d, noise_rows, domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gyo_reduce::is_tree_schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn families_cover_both_schema_kinds() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let fams = engine_families(&mut rng, 8);
+        let names: Vec<&str> = fams.iter().map(|f| f.name).collect();
+        assert_eq!(names, ["chain", "star", "ring", "grid", "random_tree"]);
+        let kinds: Vec<bool> = fams.iter().map(|f| is_tree_schema(&f.schema)).collect();
+        assert_eq!(kinds, [true, true, false, false, true]);
+    }
+
+    #[test]
+    fn grid_scale_tracks_relation_count() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for scale in [3usize, 8, 24, 60] {
+            let fams = engine_families(&mut rng, scale);
+            let g = fams.iter().find(|f| f.name == "grid").unwrap();
+            assert!(
+                g.schema.len() >= scale,
+                "scale {scale}: grid has {} rels",
+                g.schema.len()
+            );
+        }
+    }
+
+    #[test]
+    fn family_state_matches_schema_and_carries_noise() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let d = chain(4);
+        let clean = family_state(&mut rng, &d, 20, 1000, 0);
+        assert_eq!(clean.len(), d.len());
+        let noisy = family_state(&mut rng, &d, 20, 1000, 10);
+        for k in 0..d.len() {
+            assert_eq!(noisy.rel(k).attrs(), d.rel(k));
+            assert!(noisy.rel(k).len() > clean.rel(k).len().min(15));
+        }
+    }
+}

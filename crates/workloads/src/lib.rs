@@ -10,7 +10,10 @@
 //!   (unconstrained hypergraphs), [`random_cyclic_schema`];
 //! * data generators — [`random_universal`], [`jd_closed_universal`] (a
 //!   universal relation already satisfying `⋈D`, via one application of the
-//!   join-of-projections closure), and [`ur_state`].
+//!   join-of-projections closure), and [`ur_state`];
+//! * engine wiring — [`engine_families`] (one schema per family) and
+//!   [`family_state`] (noisy non-UR states), shared by the differential
+//!   engine suite and the `classify/engines` benches.
 //!
 //! All randomized generators take an external `rand::Rng`, so property tests
 //! can drive them from seeds.
@@ -18,9 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod data;
+pub mod families;
 pub mod schemas;
 
 pub use data::{jd_closed_universal, noisy_ur_state, random_universal, ur_state};
+pub use families::{engine_families, family_state, FamilySchema};
 pub use schemas::{
     aclique_n, aring_n, caterpillar, chain, grid, numbered_catalog, random_cyclic_schema,
     random_schema, random_tree_schema, ring_of_cliques, star,

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Capture a committed bench baseline.
+#
+# Runs the full `cargo bench` suite with the criterion shim's GYO_BENCH_SAVE
+# hook enabled, writing one JSON object per bench id to the output file
+# (default: BENCH_BASELINE.json at the repository root). Compare a later
+# capture against it with:
+#
+#   cargo run --release -p gyo-bench --bin bench_compare -- \
+#       BENCH_BASELINE.json current.json
+#
+# Usage: scripts/bench_baseline.sh [OUTPUT_FILE] [-- extra cargo bench args]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_BASELINE.json}"
+shift || true
+case "$out" in
+  /*) abs="$out" ;;
+  *) abs="$(pwd)/$out" ;;
+esac
+
+rm -f "$abs"
+# Absolute path: cargo runs each bench binary from the package directory.
+GYO_BENCH_SAVE="$abs" cargo bench "$@"
+echo
+echo "captured $(wc -l <"$abs") bench ids into $out"

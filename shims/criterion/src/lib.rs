@@ -11,9 +11,17 @@
 //! What you get per benchmark is a single line —
 //! `group/function/param  time: [median ± spread]  (N samples × M iters)` —
 //! computed from medians over `sample_size` samples after a warm-up phase.
-//! No HTML reports, no statistical regression analysis, no comparison with
-//! saved baselines; when a future PR needs those, swapping this shim for the
-//! real crate is a manifest-only change.
+//! No HTML reports and no statistical regression analysis; when a future PR
+//! needs those, swapping this shim for the real crate is a manifest-only
+//! change.
+//!
+//! **Baseline capture:** when the `GYO_BENCH_SAVE` environment variable
+//! names a file, every result is also appended there as one JSON object per
+//! line (`{"id": …, "median_ns": …, "samples": …, "iters": …}`) — the
+//! format `BENCH_BASELINE.json` and the `bench_compare` binary in
+//! `gyo-bench` consume. Use an **absolute** path: cargo runs each bench
+//! binary with the package directory as its working directory. The
+//! repository's `scripts/bench_baseline.sh` wraps this.
 
 #![warn(missing_docs)]
 
@@ -234,6 +242,30 @@ fn run_one(settings: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
         fmt_ns(hi),
         settings.sample_size,
     );
+    save_baseline_line(label, median, settings.sample_size, batch);
+}
+
+/// Appends the result to `$GYO_BENCH_SAVE` (one JSON object per line) when
+/// the variable is set and nonempty. IO failures abort loudly — a silently
+/// truncated baseline is worse than a failed capture run.
+fn save_baseline_line(label: &str, median_ns: f64, samples: usize, iters: u64) {
+    let Ok(path) = std::env::var("GYO_BENCH_SAVE") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("GYO_BENCH_SAVE: cannot open {path}: {e}"));
+    writeln!(
+        file,
+        r#"{{"id":"{label}","median_ns":{median_ns:.1},"samples":{samples},"iters":{iters}}}"#
+    )
+    .unwrap_or_else(|e| panic!("GYO_BENCH_SAVE: cannot write {path}: {e}"));
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -288,6 +320,40 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("chain", 100).0, "chain/100");
         assert_eq!(BenchmarkId::from_parameter("grid").0, "grid");
+    }
+
+    #[test]
+    fn baseline_save_writes_flat_json_objects_and_is_off_by_default() {
+        // One test (not two) because it mutates the process environment,
+        // which would race against itself if split across test threads.
+        std::env::remove_var("GYO_BENCH_SAVE");
+        save_baseline_line("unsaved/id", 1.0, 2, 3); // inert without the var
+
+        let path = std::env::temp_dir().join(format!(
+            "gyo-criterion-shim-baseline-{}.jsonl",
+            std::process::id()
+        ));
+        let path_str = path.to_str().expect("utf-8 temp path");
+        std::env::set_var("GYO_BENCH_SAVE", path_str);
+        save_baseline_line("group/fn/8", 1234.5678, 10, 42);
+        save_baseline_line("group/fn/16", 99.0, 10, 7);
+        std::env::remove_var("GYO_BENCH_SAVE");
+
+        let content = std::fs::read_to_string(&path).expect("baseline file written");
+        std::fs::remove_file(&path).ok();
+        // Filter to this test's ids: a concurrently running bench test
+        // could legitimately append its own lines while the var was set.
+        let lines: Vec<&str> = content
+            .lines()
+            .filter(|l| l.contains(r#""id":"group/fn/"#))
+            .collect();
+        assert_eq!(lines.len(), 2, "{content}");
+        assert!(
+            lines[0].contains(r#""id":"group/fn/8""#) && lines[0].contains(r#""median_ns":1234.6"#),
+            "{content}"
+        );
+        assert!(!content.contains("unsaved/id"));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
     }
 
     #[test]

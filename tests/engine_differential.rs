@@ -1,0 +1,206 @@
+//! Differential engine suite: the naive, incremental (per-call Yannakakis),
+//! and cached full-reducer engines must produce identical reduced states
+//! and identical query answers on every workload family — chains, stars,
+//! rings, grids, and random trees.
+//!
+//! Tree families: all three engines reduce and answer, and must agree with
+//! the definitional results (`π_{Rᵢ}(⋈ state)` and `π_X(⋈ state)`).
+//! Cyclic families (rings, non-degenerate grids): the semijoin engines must
+//! *decline* (`None`) while the naive engine still answers.
+//!
+//! The cached engine is shared across all cases (and test threads) through
+//! one static instance, so the plan cache is exercised under heavy reuse —
+//! a disagreement caused by a stale or miskeyed plan would surface here.
+//! Case counts honor `PROPTEST_CASES` (CI caps at 32; nightly runs full).
+
+use std::sync::OnceLock;
+
+use gyo::{
+    is_tree_schema, AttrSet, DbSchema, DbState, Engine, FullReducerEngine, IncrementalEngine,
+    NaiveEngine,
+};
+use gyo_workloads::{
+    aring_n, chain, engine_families, family_state, grid, random_tree_schema, star,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One engine instance for the whole suite: reusing it across cases is the
+/// point (plan-cache hits must not change any answer).
+fn cached_engine() -> &'static FullReducerEngine {
+    static ENGINE: OnceLock<FullReducerEngine> = OnceLock::new();
+    ENGINE.get_or_init(FullReducerEngine::new)
+}
+
+/// A two-attribute target spanning `U(D)` (first and last attribute).
+fn span_target(d: &DbSchema) -> AttrSet {
+    let u = d.attributes();
+    let ends: Vec<_> = u
+        .iter()
+        .take(1)
+        .chain(u.iter().skip(u.len().saturating_sub(1)))
+        .collect();
+    AttrSet::from_iter(ends)
+}
+
+/// Safety valve for randomized schemas: the naive ground truth materializes
+/// the cross product across disconnected components (random tree schemas
+/// can grow several private-attribute singletons), so cases with many
+/// components are skipped — the engines' behavior there is covered by the
+/// deterministic disjoint-schema cases elsewhere.
+fn naive_is_tractable(d: &DbSchema) -> bool {
+    d.connected_components().len() <= 3
+}
+
+/// The core differential check: reduced states and answers of all three
+/// engines on `(d, state, x)`.
+fn check_engines(label: &str, d: &DbSchema, state: &DbState, x: &AttrSet) {
+    let naive = NaiveEngine;
+    let incremental = IncrementalEngine;
+    let cached = cached_engine();
+    let tree = is_tree_schema(d);
+
+    let n_red = naive.reduce(d, state).expect("naive reduces every schema");
+    let i_red = incremental.reduce(d, state);
+    let c_red = cached.reduce(d, state);
+    assert_eq!(
+        i_red.is_some(),
+        tree,
+        "{label}: incremental supports iff tree"
+    );
+    assert_eq!(c_red.is_some(), tree, "{label}: cached supports iff tree");
+    if tree {
+        let i_red = i_red.unwrap();
+        let c_red = c_red.unwrap();
+        for k in 0..d.len() {
+            assert_eq!(
+                i_red.rel(k),
+                n_red.rel(k),
+                "{label}: incremental node {k} reaches global consistency"
+            );
+            assert_eq!(
+                c_red.rel(k),
+                n_red.rel(k),
+                "{label}: cached node {k} reaches global consistency"
+            );
+        }
+    }
+
+    // Ground truth computed definitionally here (join everything, project)
+    // rather than through any engine's own code path, so the naive engine
+    // is under test too instead of being compared against itself.
+    let joined = state
+        .rels()
+        .iter()
+        .fold(gyo::Relation::identity(), |acc, r| acc.natural_join(r));
+    let expected = if joined.is_empty() {
+        gyo::Relation::empty(x.clone())
+    } else {
+        joined.project(x)
+    };
+    assert_eq!(
+        naive.answer(d, state, x).expect("naive answers everything"),
+        expected,
+        "{label}: naive answer"
+    );
+    let i_ans = incremental.answer(d, state, x);
+    let c_ans = cached.answer(d, state, x);
+    assert_eq!(
+        i_ans.is_some(),
+        tree,
+        "{label}: incremental answers iff tree"
+    );
+    assert_eq!(c_ans.is_some(), tree, "{label}: cached answers iff tree");
+    if tree {
+        assert_eq!(i_ans.unwrap(), expected, "{label}: incremental answer");
+        assert_eq!(c_ans.unwrap(), expected, "{label}: cached answer");
+    }
+}
+
+fn run_family(label: &str, d: &DbSchema, seed: u64, rows: usize, domain: u64, noise: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let state = family_state(&mut rng, d, rows, domain, noise);
+    let x = span_target(d);
+    check_engines(label, d, &state, &x);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The naive engine is the ground truth, and it materializes `⋈D` —
+    // whose size grows like (rows/domain)^|D| along join paths. Long
+    // schemas therefore get domains comfortably above the row count
+    // (expected fanout ≤ 1); dense joins (domain ≪ rows) are exercised on
+    // short schemas where the blow-up is bounded.
+
+    #[test]
+    fn chains_agree(n in 1usize..14, rows in 4usize..13, domain in 16u64..48, seed in any::<u64>()) {
+        run_family("chain", &chain(n), seed, rows, domain, 6);
+    }
+
+    #[test]
+    fn short_dense_chains_agree(n in 1usize..5, rows in 5usize..25, domain in 2u64..5, seed in any::<u64>()) {
+        run_family("chain_dense", &chain(n), seed, rows, domain, 6);
+    }
+
+    #[test]
+    fn stars_agree(n in 1usize..11, rows in 4usize..13, domain in 24u64..48, seed in any::<u64>()) {
+        run_family("star", &star(n), seed, rows, domain, 4);
+    }
+
+    #[test]
+    fn small_dense_stars_agree(n in 1usize..5, rows in 5usize..25, domain in 2u64..5, seed in any::<u64>()) {
+        run_family("star_dense", &star(n), seed, rows, domain, 6);
+    }
+
+    #[test]
+    fn rings_decline_semijoin_engines(n in 3usize..10, rows in 4usize..13, domain in 16u64..32, seed in any::<u64>()) {
+        run_family("ring", &aring_n(n), seed, rows, domain, 4);
+    }
+
+    #[test]
+    fn grids_agree_or_decline(r in 1usize..4, c in 2usize..4, rows in 5usize..13, domain in 16u64..40, seed in any::<u64>()) {
+        // 1×c grids are paths (tree); r,c ≥ 2 grids are cyclic — both sides
+        // of the dichotomy get exercised.
+        run_family("grid", &grid(r, c), seed, rows, domain, 4);
+    }
+
+    #[test]
+    fn random_trees_agree(n in 1usize..11, rows in 5usize..13, domain in 16u64..32, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_tree_schema(&mut rng, n, 2 * n, 0.4);
+        if naive_is_tractable(&d) {
+            run_family("random_tree", &d, seed ^ 0x9E37, rows, domain, 4);
+        }
+    }
+
+    #[test]
+    fn engine_family_sweep(scale in 3usize..13, rows in 5usize..13, domain in 24u64..48, seed in any::<u64>()) {
+        // End-to-end over the canonical family list the benches use.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for fam in engine_families(&mut rng, scale) {
+            if naive_is_tractable(&fam.schema) {
+                run_family(fam.name, &fam.schema, seed ^ fam.schema.len() as u64, rows, domain, 4);
+            }
+        }
+    }
+}
+
+#[test]
+fn answers_are_stable_across_repeated_cached_calls() {
+    // Plan-cache hits must be observationally identical to misses.
+    let d = chain(6);
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let state = family_state(&mut rng, &d, 30, 5, 8);
+    let x = span_target(&d);
+    let cached = cached_engine();
+    let first = cached.answer(&d, &state, &x).unwrap();
+    for _ in 0..3 {
+        assert_eq!(cached.answer(&d, &state, &x).unwrap(), first);
+        assert_eq!(
+            cached.reduce(&d, &state).unwrap(),
+            NaiveEngine.reduce(&d, &state).unwrap()
+        );
+    }
+}
