@@ -11,8 +11,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gyo_bench::bench_rng;
 use gyo_core::reduce::{gyo_reduce_naive, is_tree_schema};
 use gyo_core::schema::qual::maximum_weight_join_tree;
-use gyo_core::{AttrSet, Engine, FullReducerEngine, IncrementalEngine, NaiveEngine};
-use gyo_workloads::{aclique_n, aring_n, chain, family_state, grid, random_tree_schema, star};
+use gyo_core::{AttrSet, DbState, Engine, FullReducerEngine, IncrementalEngine, NaiveEngine};
+use gyo_workloads::{
+    aclique_n, aring_n, chain, family_state, grid, random_tree_schema, random_universal, star,
+};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -92,6 +94,39 @@ fn bench_reduction_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Materialization-dominated paths: projecting a universal relation into a
+/// UR state (`from_universal`), and answering `(D, X)` with the cached
+/// engine (reduce + join up the tree, materializing the answer). Unlike the
+/// `reduce_*` series — whose masked executor never touches tuple storage —
+/// these are bounded by per-row touch cost of the `Relation` layout, so
+/// they are the acceptance family for storage-layout changes.
+fn bench_materialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify/materialize");
+    let cached = FullReducerEngine::new();
+    for n in [8usize, 32, 128] {
+        let d = chain(n);
+        let mut rng = bench_rng();
+        let i = random_universal(&mut rng, &d.attributes(), 512, 1 << 14);
+        let state = family_state(&mut rng, &d, 256, 1 << 14, 32);
+        let u: Vec<_> = d.attributes().iter().collect();
+        let x = AttrSet::from_iter([u[0], u[u.len() - 1]]);
+        assert_eq!(
+            cached
+                .answer(&d, &state, &x)
+                .expect("chain is a tree schema"),
+            NaiveEngine.answer(&d, &state, &x).unwrap(),
+            "sanity"
+        );
+        group.bench_with_input(BenchmarkId::new("from_universal", n), &i, |b, i| {
+            b.iter(|| black_box(DbState::from_universal(i, &d).rel(0).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("answer_cached", n), &state, |b, state| {
+            b.iter(|| black_box(cached.answer(&d, state, &x).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
 fn bench_grids(c: &mut Criterion) {
     let mut group = c.benchmark_group("classify/grid");
     for side in [3usize, 6, 12] {
@@ -109,6 +144,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(900));
-    targets = bench_families, bench_engines, bench_reduction_engines, bench_grids
+    targets = bench_families, bench_engines, bench_reduction_engines, bench_materialize, bench_grids
 }
 criterion_main!(benches);

@@ -114,12 +114,45 @@ fn bench_dead_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Raw join/projection materialization on flat operands — no reducer in
+/// the loop, just the `Relation` operators that write output tuples. The
+/// domain equals the row count, so `R(a,b) ⋈ S(b,c)` keeps fanout ≈ 1 and
+/// the cost is dominated by per-row materialization, not output blow-up.
+fn bench_flat_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("programs/flat_join");
+    for rows in [512usize, 2048] {
+        let mut rng = bench_rng();
+        let domain = rows as u64;
+        let ab = random_universal(&mut rng, &AttrSet::from_raw(&[0, 1]), rows, domain);
+        let bc = random_universal(&mut rng, &AttrSet::from_raw(&[1, 2]), rows, domain);
+        let abcd = random_universal(&mut rng, &AttrSet::from_raw(&[0, 1, 2, 3]), rows, domain);
+        let cdef = random_universal(&mut rng, &AttrSet::from_raw(&[2, 3, 4, 5]), rows, domain);
+        let wide = random_universal(
+            &mut rng,
+            &AttrSet::from_raw(&[0, 1, 2, 3, 4, 5]),
+            rows,
+            domain,
+        );
+        let half = AttrSet::from_raw(&[0, 2, 4]);
+        group.bench_with_input(BenchmarkId::new("join_narrow", rows), &(), |b, ()| {
+            b.iter(|| black_box(ab.natural_join(&bc).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("join_wide", rows), &(), |b, ()| {
+            b.iter(|| black_box(abcd.natural_join(&cdef).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("project_half", rows), &(), |b, ()| {
+            b.iter(|| black_box(wide.project(&half).len()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(900));
-    targets = bench_selectivity_sweep, bench_size_sweep, bench_dead_end
+    targets = bench_selectivity_sweep, bench_size_sweep, bench_dead_end, bench_flat_join
 }
 criterion_main!(benches);

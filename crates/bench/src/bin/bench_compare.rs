@@ -3,10 +3,12 @@
 //! `{"id": …, "median_ns": …, …}`).
 //!
 //! ```text
-//! bench_compare BASELINE CURRENT [--fail-above FACTOR]
+//! bench_compare BASELINE CURRENT [--filter SUBSTRING] [--fail-above FACTOR]
 //!     Per-id table of baseline vs. current medians with ratios; with
 //!     --fail-above, exits nonzero if any shared id regressed by more than
-//!     FACTOR× (e.g. 2.0).
+//!     FACTOR× (e.g. 2.0). --filter restricts the table (and the gate) to
+//!     ids containing SUBSTRING — CI uses it to hold specific bench
+//!     families (e.g. classify/materialize) to their own thresholds.
 //!
 //! bench_compare --ratio FILE NUMERATOR_ID DENOMINATOR_ID [MIN]
 //!     Prints median(NUMERATOR_ID) / median(DENOMINATOR_ID) from one file;
@@ -28,7 +30,7 @@ fn main() -> ExitCode {
         Some(_) if args.len() >= 2 && !args[0].starts_with("--") => compare_mode(&args),
         _ => {
             eprintln!(
-                "usage: bench_compare BASELINE CURRENT [--fail-above FACTOR]\n\
+                "usage: bench_compare BASELINE CURRENT [--filter SUBSTRING] [--fail-above FACTOR]\n\
                         bench_compare --ratio FILE NUMERATOR_ID DENOMINATOR_ID [MIN]"
             );
             ExitCode::from(2)
@@ -37,17 +39,37 @@ fn main() -> ExitCode {
 }
 
 fn compare_mode(args: &[String]) -> ExitCode {
-    let baseline = load(&args[0]);
-    let current = load(&args[1]);
-    let fail_above: Option<f64> = match args.get(2).map(String::as_str) {
-        Some("--fail-above") => Some(
-            args.get(3)
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| die("--fail-above needs a numeric FACTOR")),
-        ),
-        Some(other) => die(&format!("unknown flag {other}")),
-        None => None,
-    };
+    let mut baseline = load(&args[0]);
+    let mut current = load(&args[1]);
+    let mut fail_above: Option<f64> = None;
+    let mut filter: Option<String> = None;
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--fail-above" => {
+                fail_above = Some(
+                    rest.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--fail-above needs a numeric FACTOR")),
+                )
+            }
+            "--filter" => {
+                filter = Some(
+                    rest.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--filter needs a SUBSTRING")),
+                )
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if let Some(f) = &filter {
+        baseline.retain(|id, _| id.contains(f.as_str()));
+        current.retain(|id, _| id.contains(f.as_str()));
+        if baseline.is_empty() && current.is_empty() {
+            die::<()>(&format!("--filter {f:?} matches no bench ids"));
+        }
+    }
 
     let mut worst: f64 = 0.0;
     let mut shared = 0usize;
@@ -87,6 +109,13 @@ fn compare_mode(args: &[String]) -> ExitCode {
     }
     println!("\n{shared} shared ids; worst current/baseline ratio: {worst:.2}x");
     if let Some(limit) = fail_above {
+        // A gate over zero shared ids would pass vacuously — e.g. after a
+        // bench id rename leaves the baseline and current sides disjoint —
+        // so an empty intersection is itself a failure.
+        if shared == 0 {
+            eprintln!("FAIL: --fail-above has no shared ids to compare");
+            return ExitCode::FAILURE;
+        }
         if worst > limit {
             eprintln!("FAIL: regression above {limit:.2}x");
             return ExitCode::FAILURE;

@@ -35,7 +35,7 @@ pub fn weakly_contained_semantic(q: &JoinQuery, q2: &JoinQuery) -> bool {
     assert_eq!(q.target(), q2.target(), "queries must share the target X");
     let universe = q.schema().attributes().union(&q2.schema().attributes());
     let frozen = Tableau::standard_over(q.schema(), q.target(), &universe).freeze();
-    let universal = Relation::new(frozen.attrs.clone(), frozen.tuples.clone());
+    let universal = frozen.to_relation();
     let state = DbState::from_universal(&universal, q2.schema());
     let answer = state.eval_join_query(q2.target());
     answer.contains(&frozen.summary)

@@ -146,7 +146,7 @@ mod tests {
         let d = db("abc, ab, bc", &mut cat);
         let d_prime = db("ab, bc", &mut cat);
         let frozen = Tableau::standard(&d, &d_prime.attributes()).freeze();
-        let i0 = gyo_relation::Relation::new(frozen.attrs.clone(), frozen.tuples.clone());
+        let i0 = frozen.to_relation();
         let closed = join_of_projections(&i0, &d);
         assert!(satisfies_jd(&closed, &d), "m_D(I) satisfies ⋈D");
         assert!(

@@ -228,7 +228,7 @@ impl Program {
         domain: u64,
     ) -> Option<Relation> {
         let frozen = gyo_tableau::Tableau::standard(q.schema(), q.target()).freeze();
-        let canonical = Relation::new(frozen.attrs, frozen.tuples);
+        let canonical = frozen.to_relation();
         let state = DbState::from_universal(&canonical, q.schema());
         if !self.solves_on(&state, q) {
             return Some(canonical);
@@ -303,10 +303,10 @@ mod gyo_workloads_shim {
         domain: u64,
     ) -> Relation {
         let width = attrs.len();
-        let tuples: Vec<Vec<u64>> = (0..rows)
-            .map(|_| (0..width).map(|_| rng.random_range(0..domain)).collect())
+        let data: Vec<u64> = (0..rows * width)
+            .map(|_| rng.random_range(0..domain))
             .collect();
-        Relation::new(attrs.clone(), tuples)
+        Relation::from_row_major(attrs.clone(), rows, data)
     }
 }
 

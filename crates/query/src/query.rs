@@ -19,7 +19,7 @@ use gyo_schema::{AttrSet, Catalog, DbSchema};
 ///
 /// let i = Relation::new(d.attributes(), vec![vec![1, 2, 3]]);
 /// let state = DbState::from_universal(&i, &d);
-/// assert_eq!(q.eval(&state).tuples(), &[vec![1, 3]]);
+/// assert_eq!(q.eval(&state).to_vecs(), vec![vec![1, 3]]);
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JoinQuery {
@@ -92,7 +92,7 @@ mod tests {
             ],
         );
         let q = JoinQuery::new(d, x);
-        assert_eq!(q.eval(&state).tuples(), &[vec![1]]);
+        assert_eq!(q.eval(&state).to_vecs(), vec![vec![1]]);
     }
 
     #[test]

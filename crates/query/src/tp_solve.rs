@@ -127,7 +127,7 @@ mod tests {
         let (d, x, p, tp, _) = ring_setup();
         let q = JoinQuery::new(d.clone(), x.clone());
         let frozen = gyo_tableau::Tableau::standard(&d, &x).freeze();
-        let i = Relation::new(frozen.attrs, frozen.tuples);
+        let i = frozen.to_relation();
         let state = DbState::from_universal(&i, &d);
         assert_eq!(
             solve_with_tree_projection(&p, &tp, &state, &x),

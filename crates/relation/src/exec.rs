@@ -80,12 +80,14 @@ impl Mask {
     }
 }
 
-/// Reusable membership scratch, one set per key width class.
+/// Reusable membership scratch, one set per packed key width class. Wide
+/// keys use a per-step set of borrowed slices instead (see [`apply_step`]):
+/// the slices borrow the source's packed key buffer, so they cannot outlive
+/// one step — but they also never allocate per row.
 #[derive(Default)]
 struct Scratch {
     one: FxHashSet<u64>,
     two: FxHashSet<u128>,
-    wide: FxHashSet<Vec<u64>>,
 }
 
 /// Executes a compiled semijoin program in place:
@@ -148,6 +150,9 @@ fn apply_step(
     // Membership set over the source's surviving key values…
     let source_alive = masks[step.source].as_ref().map(|m| m.alive.as_slice());
     let alive_at = |alive: Option<&[bool]>, i: usize| alive.map_or(true, |a| a[i]);
+    // Wide keys borrow stride-indexed views of the source's packed key
+    // buffer — no per-tuple allocation for any key width.
+    let mut wide: FxHashSet<&[u64]> = FxHashSet::default();
     match &*source_col {
         KeyColumn::Empty => unreachable!("handled above"),
         KeyColumn::One(vals) => {
@@ -166,11 +171,10 @@ fn apply_step(
                 }
             }
         }
-        KeyColumn::Wide(vals) => {
-            scratch.wide.clear();
-            for (i, v) in vals.iter().enumerate() {
+        KeyColumn::Wide { width, keys } => {
+            for (i, k) in keys.chunks_exact(*width).enumerate() {
                 if alive_at(source_alive, i) {
-                    scratch.wide.insert(v.clone());
+                    wide.insert(k);
                 }
             }
         }
@@ -196,9 +200,9 @@ fn apply_step(
                 }
             }
         }
-        KeyColumn::Wide(vals) => {
-            for (alive, v) in mask.alive.iter_mut().zip(vals) {
-                if *alive && !scratch.wide.contains(v) {
+        KeyColumn::Wide { width, keys } => {
+            for (alive, k) in mask.alive.iter_mut().zip(keys.chunks_exact(*width)) {
+                if *alive && !wide.contains(k) {
                     *alive = false;
                     mask.kept -= 1;
                 }
@@ -247,7 +251,7 @@ mod tests {
         ];
         semijoin_program(&mut rels, &steps);
         assert_eq!(rels, expected);
-        assert_eq!(rels[0].tuples(), &[vec![1, 10]]);
+        assert_eq!(rels[0].to_vecs(), vec![vec![1, 10]]);
     }
 
     #[test]
@@ -271,8 +275,8 @@ mod tests {
             SemijoinStep::new(&schemas, 0, 2), // keep only a=1 rows
         ];
         semijoin_program(&mut rels, &steps);
-        assert_eq!(rels[0].tuples(), &[vec![1, 10]]);
-        assert_eq!(rels[2].tuples(), &[vec![1]]);
+        assert_eq!(rels[0].to_vecs(), vec![vec![1, 10]]);
+        assert_eq!(rels[2].to_vecs(), vec![vec![1]]);
     }
 
     #[test]

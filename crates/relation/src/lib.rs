@@ -18,6 +18,26 @@
 //!   batched [`semijoin_program`] executor used by the cached full-reducer
 //!   engine.
 //!
+//! # Flat row-major storage
+//!
+//! Every [`Relation`] keeps its tuples in **one flat `Vec<u64>` buffer**
+//! with stride = arity: row `i` lives at `data[i·arity..(i+1)·arity]` and
+//! is read as a `&[u64]` slice ([`Relation::row`], [`Relation::rows`],
+//! [`Relation::data`]). Normalization (sort + dedup) runs directly on the
+//! flat buffer with stride-aware comparison, and every operator —
+//! projection, hash join, semijoin, union, the batched mask executor —
+//! both reads and writes flat buffers, so **no operator allocates per
+//! row**. The buffer is `Arc`-shared: cloning a relation is O(1), and
+//! clones share the storage *and* the lazily built derivation caches
+//! (column positions, hash-join build tables, packed key columns).
+//!
+//! Nested tuple vectors appear in exactly two places, both boundaries: the
+//! ergonomic constructor [`Relation::new`] (input conversion) and the test
+//! shim [`Relation::to_vecs`] (assertion output). Use
+//! [`Relation::from_row_major`] everywhere performance matters; the nested
+//! forms are acceptable only in tests, doc examples, and one-off input
+//! conversion — never inside operators, engines, or generators.
+//!
 //! The hot paths are cache-assisted: every [`Relation`] lazily memoizes, per
 //! key attribute set, its column positions and its hash-join build table, so
 //! repeated joins and semijoins against the same relation (or clones of it)

@@ -1,13 +1,131 @@
 //! Relations (sets of tuples) and the natural-join algebra.
+//!
+//! # Storage layout
+//!
+//! A [`Relation`] stores its tuples in a **single flat row-major buffer**:
+//! one `Vec<u64>` holding `len · arity` values, where row `i` occupies
+//! `data[i·arity .. (i+1)·arity]` (the stride is the arity). There is no
+//! per-tuple allocation anywhere on the operator paths — rows are read as
+//! `&[u64]` slices straight out of the buffer ([`Relation::row`],
+//! [`Relation::rows`]), and `project`/`natural_join`/`semijoin`/`union`
+//! write their outputs into flat buffers, pre-sized wherever the output
+//! size is bounded up front (joins grow theirs — the output size is not
+//! knowable in advance).
+//!
+//! The buffer is normalized (rows strictly increasing in lexicographic
+//! order, duplicates removed) at construction, so equality is set equality
+//! and binary search works on row indices. Normalization itself is
+//! stride-aware and allocation-free per row: width-1 and width-2 rows sort
+//! as packed scalars, wider rows sort through an index permutation.
+//!
+//! The buffer sits behind an `Arc`, so cloning a relation is O(1) and all
+//! clones share both the tuple storage and the lazily built derivation
+//! caches (column positions, hash-join build tables, flat key columns).
+//!
+//! The only nested-vector conversions left are **boundaries**:
+//! [`Relation::new`] accepts nested vectors for ergonomic construction, and
+//! [`Relation::to_vecs`] materializes them for test assertions. Neither is
+//! acceptable on a hot path — operators and engines must stay on the flat
+//! buffer.
 
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use gyo_schema::{AttrId, AttrSet, Catalog, FxHashMap};
 
+/// Packs a width-2 key into one scalar. The first column lands in the high
+/// half, so `u128` ordering equals lexicographic row ordering — every
+/// width-2 build, probe, and sort site must agree on this encoding.
+#[inline]
+fn pack2(a: u64, b: u64) -> u128 {
+    (a as u128) << 64 | b as u128
+}
+
+/// Inverse of [`pack2`].
+#[inline]
+fn unpack2(p: u128) -> (u64, u64) {
+    ((p >> 64) as u64, p as u64)
+}
+
 /// A hash index over one key-attribute set: key values (in [`AttrSet`]
-/// column order) → indices of the tuples carrying them.
-pub(crate) type KeyIndex = FxHashMap<Vec<u64>, Vec<usize>>;
+/// column order) → indices of the tuples carrying them. Keys of width ≤ 2
+/// pack exactly into scalars, so building and probing never allocates per
+/// row; wider keys are boxed once per *distinct* key, never per tuple.
+#[derive(Debug)]
+pub(crate) enum KeyIndex {
+    /// Width-0 key: every tuple carries the empty key.
+    Empty(Vec<usize>),
+    /// Width-1 key.
+    One(FxHashMap<u64, Vec<usize>>),
+    /// Width-2 key, packed into one `u128`.
+    Two(FxHashMap<u128, Vec<usize>>),
+    /// Width ≥ 3 (rare in tree schemas).
+    Wide(FxHashMap<Box<[u64]>, Vec<usize>>),
+}
+
+impl KeyIndex {
+    fn build(rel: &Relation, pos: &[usize]) -> Self {
+        match *pos {
+            [] => KeyIndex::Empty((0..rel.len).collect()),
+            [p] => {
+                let mut map: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+                for (i, t) in rel.rows().enumerate() {
+                    map.entry(t[p]).or_default().push(i);
+                }
+                KeyIndex::One(map)
+            }
+            [p, q] => {
+                let mut map: FxHashMap<u128, Vec<usize>> = FxHashMap::default();
+                for (i, t) in rel.rows().enumerate() {
+                    map.entry(pack2(t[p], t[q])).or_default().push(i);
+                }
+                KeyIndex::Two(map)
+            }
+            _ => {
+                let mut map: FxHashMap<Box<[u64]>, Vec<usize>> = FxHashMap::default();
+                let mut scratch: Vec<u64> = Vec::with_capacity(pos.len());
+                for (i, t) in rel.rows().enumerate() {
+                    scratch.clear();
+                    scratch.extend(pos.iter().map(|&p| t[p]));
+                    if let Some(bucket) = map.get_mut(scratch.as_slice()) {
+                        bucket.push(i);
+                    } else {
+                        map.insert(scratch.clone().into_boxed_slice(), vec![i]);
+                    }
+                }
+                KeyIndex::Wide(map)
+            }
+        }
+    }
+
+    /// Indices of the build-side tuples matching the probe row's key
+    /// (`pos` are the key positions *in the probe row*). `scratch` is a
+    /// reusable buffer for wide keys.
+    #[inline]
+    fn get<'a>(
+        &'a self,
+        row: &[u64],
+        pos: &[usize],
+        scratch: &mut Vec<u64>,
+    ) -> Option<&'a [usize]> {
+        match self {
+            KeyIndex::Empty(all) => Some(all),
+            KeyIndex::One(map) => map.get(&row[pos[0]]).map(Vec::as_slice),
+            KeyIndex::Two(map) => map.get(&pack2(row[pos[0]], row[pos[1]])).map(Vec::as_slice),
+            KeyIndex::Wide(map) => {
+                scratch.clear();
+                scratch.extend(pos.iter().map(|&p| row[p]));
+                map.get(scratch.as_slice()).map(Vec::as_slice)
+            }
+        }
+    }
+
+    /// Whether any build-side tuple matches the probe row's key.
+    #[inline]
+    fn contains(&self, row: &[u64], pos: &[usize], scratch: &mut Vec<u64>) -> bool {
+        self.get(row, pos, scratch).is_some_and(|m| !m.is_empty())
+    }
+}
 
 /// Lazily built per-relation derivations, keyed by the [`AttrSet`] they were
 /// derived for: column positions (for projections and semijoin probes) and
@@ -31,8 +149,10 @@ struct CacheInner {
 
 /// A relation's key values over one key-attribute set, extracted into flat,
 /// cache-friendly storage (row `i` of the column is tuple `i`'s key). Keys
-/// of width ≤ 2 pack exactly into scalars, so the batched executor's inner
-/// loops never chase per-tuple heap pointers.
+/// of width ≤ 2 pack exactly into scalars and wider keys live in one packed
+/// side buffer (stride = key width), so the batched executor's inner loops
+/// never chase per-tuple heap pointers — there is no `Vec<u64>` per row for
+/// any key width.
 #[derive(Debug)]
 pub(crate) enum KeyColumn {
     /// Width-0 key: every tuple has the empty key.
@@ -41,27 +161,32 @@ pub(crate) enum KeyColumn {
     One(Vec<u64>),
     /// Width-2 key: both values packed into one `u128` per tuple.
     Two(Vec<u128>),
-    /// Width ≥ 3: one boxed key per tuple (rare in tree schemas).
-    Wide(Vec<Vec<u64>>),
+    /// Width ≥ 3: keys packed row-major into one flat buffer
+    /// (`keys[i·width .. (i+1)·width]` is tuple `i`'s key).
+    Wide {
+        /// Key width (≥ 3).
+        width: usize,
+        /// Packed key values, `len · width` of them.
+        keys: Vec<u64>,
+    },
 }
 
 impl KeyColumn {
-    fn extract(tuples: &[Vec<u64>], pos: &[usize]) -> Self {
+    fn extract(rel: &Relation, pos: &[usize]) -> Self {
         match *pos {
             [] => KeyColumn::Empty,
-            [p] => KeyColumn::One(tuples.iter().map(|t| t[p]).collect()),
-            [p, q] => KeyColumn::Two(
-                tuples
-                    .iter()
-                    .map(|t| (t[p] as u128) << 64 | t[q] as u128)
-                    .collect(),
-            ),
-            _ => KeyColumn::Wide(
-                tuples
-                    .iter()
-                    .map(|t| pos.iter().map(|&p| t[p]).collect())
-                    .collect(),
-            ),
+            [p] => KeyColumn::One(rel.rows().map(|t| t[p]).collect()),
+            [p, q] => KeyColumn::Two(rel.rows().map(|t| pack2(t[p], t[q])).collect()),
+            _ => {
+                let mut keys = Vec::with_capacity(rel.len * pos.len());
+                for t in rel.rows() {
+                    keys.extend(pos.iter().map(|&p| t[p]));
+                }
+                KeyColumn::Wide {
+                    width: pos.len(),
+                    keys,
+                }
+            }
         }
     }
 }
@@ -82,9 +207,11 @@ impl Clone for RelCache {
     }
 }
 
-/// A relation state: a *set* of tuples over an attribute set.
+/// A relation state: a *set* of tuples over an attribute set, stored
+/// row-major in one flat buffer (see the [module docs](self) for the
+/// layout).
 ///
-/// Column order follows the sorted order of [`AttrSet`] ids; tuples are kept
+/// Column order follows the sorted order of [`AttrSet`] ids; rows are kept
 /// sorted and deduplicated, so equality is set equality and all operations
 /// are deterministic.
 ///
@@ -105,11 +232,18 @@ impl Clone for RelCache {
 /// let s = Relation::new(bc, vec![vec![10, 100], vec![30, 300]]);
 /// let j = r.natural_join(&s);
 /// assert_eq!(j.len(), 1); // only b=10 matches
-/// assert_eq!(j.tuples()[0], vec![1, 10, 100]);
+/// assert_eq!(j.row(0), &[1, 10, 100]);
 /// ```
 pub struct Relation {
     attrs: AttrSet,
-    tuples: Vec<Vec<u64>>,
+    /// Tuple width (= `attrs.len()`), the buffer stride.
+    arity: usize,
+    /// Row count. Kept separately from the buffer because arity-0
+    /// relations (`{}` vs `{()}`) have no data to count rows from.
+    len: usize,
+    /// Row-major tuple values, `len · arity` of them, rows strictly
+    /// increasing. Shared by clones.
+    data: Arc<Vec<u64>>,
     cache: RelCache,
 }
 
@@ -117,7 +251,9 @@ impl Clone for Relation {
     fn clone(&self) -> Self {
         Self {
             attrs: self.attrs.clone(),
-            tuples: self.tuples.clone(),
+            arity: self.arity,
+            len: self.len,
+            data: Arc::clone(&self.data),
             cache: self.cache.clone(),
         }
     }
@@ -125,56 +261,184 @@ impl Clone for Relation {
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.attrs == other.attrs && self.tuples == other.tuples
+        self.attrs == other.attrs
+            && self.len == other.len
+            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
     }
 }
 
 impl Eq for Relation {}
 
+/// Iterator over a relation's rows as `&[u64]` slices of the flat buffer
+/// (see [`Relation::rows`]).
+#[derive(Clone, Debug)]
+pub struct Rows<'a> {
+    data: &'a [u64],
+    arity: usize,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [u64];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [u64]> {
+        if self.front == self.back {
+            return None;
+        }
+        let i = self.front;
+        self.front += 1;
+        Some(if self.arity == 0 {
+            &[]
+        } else {
+            &self.data[i * self.arity..(i + 1) * self.arity]
+        })
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+/// Sorts and deduplicates a row-major buffer in place (stride-aware);
+/// returns the surviving row count and buffer. Detects the already-sorted
+/// common case with one linear scan, packs width ≤ 2 rows into scalars,
+/// and sorts wider rows through an index permutation — no per-row heap
+/// allocation for any arity.
+fn normalize(arity: usize, rows: usize, mut data: Vec<u64>) -> (usize, Vec<u64>) {
+    if arity == 0 {
+        // All empty tuples are equal: the set has at most one element.
+        return (rows.min(1), data);
+    }
+    debug_assert_eq!(data.len(), rows * arity);
+    let row = |i: usize| &data[i * arity..(i + 1) * arity];
+    if (1..rows).all(|i| row(i - 1) < row(i)) {
+        return (rows, data);
+    }
+    match arity {
+        1 => {
+            data.sort_unstable();
+            data.dedup();
+            (data.len(), data)
+        }
+        2 => {
+            let mut packed: Vec<u128> = data.chunks_exact(2).map(|c| pack2(c[0], c[1])).collect();
+            packed.sort_unstable();
+            packed.dedup();
+            data.clear();
+            for &p in &packed {
+                let (a, b) = unpack2(p);
+                data.push(a);
+                data.push(b);
+            }
+            (packed.len(), data)
+        }
+        _ => {
+            let mut idx: Vec<usize> = (0..rows).collect();
+            idx.sort_unstable_by(|&a, &b| {
+                data[a * arity..(a + 1) * arity].cmp(&data[b * arity..(b + 1) * arity])
+            });
+            idx.dedup_by(|a, b| {
+                data[*a * arity..(*a + 1) * arity] == data[*b * arity..(*b + 1) * arity]
+            });
+            let mut out = Vec::with_capacity(idx.len() * arity);
+            for i in idx {
+                out.extend_from_slice(&data[i * arity..(i + 1) * arity]);
+            }
+            (out.len() / arity, out)
+        }
+    }
+}
+
 impl Relation {
-    /// Creates a relation, validating arity and normalizing (sort + dedup).
+    /// Creates a relation from nested tuple vectors, validating arity and
+    /// normalizing (sort + dedup). This is the ergonomic **boundary**
+    /// constructor; hot paths should build flat buffers and use
+    /// [`Relation::from_row_major`] instead.
     ///
     /// # Panics
     ///
     /// Panics if any tuple's arity differs from `attrs.len()`.
-    pub fn new(attrs: AttrSet, mut tuples: Vec<Vec<u64>>) -> Self {
+    pub fn new(attrs: AttrSet, tuples: Vec<Vec<u64>>) -> Self {
+        let arity = attrs.len();
+        let mut data = Vec::with_capacity(tuples.len() * arity);
         for t in &tuples {
             assert_eq!(
                 t.len(),
-                attrs.len(),
+                arity,
                 "tuple arity {} does not match schema arity {}",
                 t.len(),
-                attrs.len()
+                arity
             );
+            data.extend_from_slice(t);
         }
-        tuples.sort_unstable();
-        tuples.dedup();
+        Self::from_row_major(attrs, tuples.len(), data)
+    }
+
+    /// Creates a relation from a flat row-major buffer of `rows · arity`
+    /// values (row `i` at `data[i·arity..(i+1)·arity]`), normalizing
+    /// (sort + dedup) with stride-aware comparison — the zero-per-row-
+    /// allocation constructor every operator output goes through.
+    ///
+    /// For `attrs = ∅` the buffer is empty and `rows` alone distinguishes
+    /// `{}` (`rows == 0`) from `{()}` (`rows ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * attrs.len()`.
+    pub fn from_row_major(attrs: AttrSet, rows: usize, data: Vec<u64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * attrs.len(),
+            "flat buffer length {} does not match {} rows of arity {}",
+            data.len(),
+            rows,
+            attrs.len()
+        );
+        let (len, data) = normalize(attrs.len(), rows, data);
         Self {
+            arity: attrs.len(),
             attrs,
-            tuples,
+            len,
+            data: Arc::new(data),
             cache: RelCache::default(),
         }
     }
 
-    /// Internal constructor for tuples already sorted and deduplicated.
-    fn from_normalized(attrs: AttrSet, tuples: Vec<Vec<u64>>) -> Self {
-        debug_assert!(tuples.windows(2).all(|w| w[0] < w[1]), "not normalized");
+    /// Internal constructor for a buffer already sorted and deduplicated.
+    fn from_normalized(attrs: AttrSet, len: usize, data: Vec<u64>) -> Self {
+        let arity = attrs.len();
+        debug_assert_eq!(data.len(), len * arity);
+        debug_assert!(
+            arity == 0
+                || (1..len)
+                    .all(|i| data[(i - 1) * arity..i * arity] < data[i * arity..(i + 1) * arity]),
+            "not normalized"
+        );
+        debug_assert!(arity != 0 || len <= 1, "arity-0 relations hold ≤ 1 row");
         Self {
+            arity,
             attrs,
-            tuples,
+            len,
+            data: Arc::new(data),
             cache: RelCache::default(),
         }
     }
 
     /// The empty relation over `attrs` (no tuples).
     pub fn empty(attrs: AttrSet) -> Self {
-        Self::from_normalized(attrs, Vec::new())
+        Self::from_normalized(attrs, 0, Vec::new())
     }
 
     /// The join identity: the relation over `∅` holding the single empty
     /// tuple.
     pub fn identity() -> Self {
-        Self::from_normalized(AttrSet::empty(), vec![Vec::new()])
+        Self::from_normalized(AttrSet::empty(), 1, Vec::new())
     }
 
     /// The relation's attribute set.
@@ -183,29 +447,85 @@ impl Relation {
         &self.attrs
     }
 
-    /// The normalized (sorted, deduplicated) tuples.
+    /// Tuple width — the number of columns, and the stride of the flat
+    /// buffer.
     #[inline]
-    pub fn tuples(&self) -> &[Vec<u64>] {
-        &self.tuples
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Row `i` as a slice of the flat buffer (column order = sorted
+    /// [`AttrSet`] order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        assert!(i < self.len, "row {} out of range ({} rows)", i, self.len);
+        if self.arity == 0 {
+            &[]
+        } else {
+            &self.data[i * self.arity..(i + 1) * self.arity]
+        }
+    }
+
+    /// Iterates the normalized rows as `&[u64]` slices — the zero-copy
+    /// replacement for the old `&[Vec<u64>]` accessor.
+    #[inline]
+    pub fn rows(&self) -> Rows<'_> {
+        Rows {
+            data: &self.data,
+            arity: self.arity,
+            front: 0,
+            back: self.len,
+        }
+    }
+
+    /// The raw flat row-major buffer (`len() · arity()` values, rows
+    /// strictly increasing). Useful for bulk transfers into new flat
+    /// buffers without per-row indirection.
+    #[inline]
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Materializes the rows as nested vectors. **Test/assert boundary
+    /// shim only** — one heap allocation per row, exactly what the flat
+    /// layout exists to avoid; never call this on an operator or engine
+    /// path.
+    pub fn to_vecs(&self) -> Vec<Vec<u64>> {
+        self.rows().map(<[u64]>::to_vec).collect()
     }
 
     /// Number of tuples.
     #[inline]
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// Whether the relation holds no tuples.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
-    /// Membership test (`tuple` in column order).
+    /// Membership test (`tuple` in column order): binary search over row
+    /// indices of the sorted flat buffer.
     pub fn contains(&self, tuple: &[u64]) -> bool {
-        self.tuples
-            .binary_search_by(|t| t.as_slice().cmp(tuple))
-            .is_ok()
+        if self.arity == 0 {
+            return tuple.is_empty() && self.len > 0;
+        }
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.row(mid).cmp(tuple) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
     }
 
     /// Positions (column indices) of `attrs` within this relation's columns.
@@ -237,10 +557,10 @@ impl Relation {
         pos
     }
 
-    /// The hash-join build table over `key ⊆ attrs(self)`: key values (in
-    /// column order) → indices of the tuples carrying them. Built once per
-    /// key set and cached, so repeated joins/semijoins against this relation
-    /// (or clones of it) reuse the build.
+    /// The hash-join build table over `key ⊆ attrs(self)` (see
+    /// [`KeyIndex`]). Built once per key set and cached, so repeated
+    /// joins/semijoins against this relation (or clones of it) reuse the
+    /// build.
     pub(crate) fn key_index(&self, key: &AttrSet) -> Arc<KeyIndex> {
         if let Some(table) = self
             .cache
@@ -255,18 +575,7 @@ impl Relation {
         // Build outside the lock: the derivation is pure, so a racing
         // builder at worst duplicates work.
         let pos = self.positions_of(key);
-        let mut table = KeyIndex::default();
-        let mut scratch: Vec<u64> = Vec::with_capacity(pos.len());
-        for (i, t) in self.tuples.iter().enumerate() {
-            scratch.clear();
-            scratch.extend(pos.iter().map(|&p| t[p]));
-            if let Some(bucket) = table.get_mut(scratch.as_slice()) {
-                bucket.push(i);
-            } else {
-                table.insert(scratch.clone(), vec![i]);
-            }
-        }
-        let table = Arc::new(table);
+        let table = Arc::new(KeyIndex::build(self, &pos));
         self.cache
             .inner()
             .lock()
@@ -292,7 +601,7 @@ impl Relation {
             return Arc::clone(col);
         }
         let pos = self.positions_of(key);
-        let col = Arc::new(KeyColumn::extract(&self.tuples, &pos));
+        let col = Arc::new(KeyColumn::extract(self, &pos));
         self.cache
             .inner()
             .lock()
@@ -305,20 +614,19 @@ impl Relation {
 
     /// The relation restricted to the tuples whose mask bit is set
     /// (`mask.len() == self.len()`); `kept` is the popcount. Returns a
-    /// plain clone when everything survives.
+    /// plain clone when everything survives. Surviving rows are copied
+    /// contiguously into one pre-sized buffer — filtering preserves order,
+    /// so no re-normalization happens.
     pub(crate) fn filter_by_mask(&self, mask: &[bool], kept: usize) -> Relation {
-        debug_assert_eq!(mask.len(), self.tuples.len());
-        if kept == self.tuples.len() {
+        debug_assert_eq!(mask.len(), self.len);
+        if kept == self.len {
             return self.clone();
         }
-        let tuples: Vec<Vec<u64>> = self
-            .tuples
-            .iter()
-            .zip(mask)
-            .filter(|(_, &alive)| alive)
-            .map(|(t, _)| t.clone())
-            .collect();
-        Relation::from_normalized(self.attrs.clone(), tuples)
+        let mut data = Vec::with_capacity(kept * self.arity);
+        for (t, _) in self.rows().zip(mask).filter(|(_, &alive)| alive) {
+            data.extend_from_slice(t);
+        }
+        Relation::from_normalized(self.attrs.clone(), kept, data)
     }
 
     /// Projection `π_X(self)`.
@@ -335,32 +643,29 @@ impl Relation {
             return self.clone();
         }
         let pos = self.positions_cached(x);
-        let mut tuples: Vec<Vec<u64>> = self
-            .tuples
-            .iter()
-            .map(|t| pos.iter().map(|&p| t[p]).collect())
-            .collect();
-        tuples.sort_unstable();
-        tuples.dedup();
-        Relation::from_normalized(x.clone(), tuples)
+        let mut data = Vec::with_capacity(self.len * pos.len());
+        for t in self.rows() {
+            data.extend(pos.iter().map(|&p| t[p]));
+        }
+        Relation::from_row_major(x.clone(), self.len, data)
     }
 
     /// Natural join `self ⋈ other` (a cross product when the schemas are
     /// disjoint). Hash join on the shared attributes, building on the
-    /// smaller side.
+    /// smaller side; output rows are written straight into one flat
+    /// buffer.
     pub fn natural_join(&self, other: &Relation) -> Relation {
-        let (build, probe) = if self.len() <= other.len() {
+        let (build, probe) = if self.len <= other.len {
             (self, other)
         } else {
             (other, self)
         };
         let shared = build.attrs.intersect(&probe.attrs);
         let out_attrs = build.attrs.union(&probe.attrs);
+        let out_arity = out_attrs.len();
 
         let probe_key = probe.positions_cached(&shared);
         // Output columns: for each output attribute, where to copy it from.
-        // Prefer the probe side so probe tuples copy contiguously when the
-        // schemas are disjoint.
         enum Src {
             Build(usize),
             Probe(usize),
@@ -381,28 +686,23 @@ impl Relation {
 
         let table = build.key_index(&shared);
 
-        let mut tuples = Vec::new();
-        let mut key = Vec::with_capacity(probe_key.len());
-        for pt in &probe.tuples {
-            key.clear();
-            key.extend(probe_key.iter().map(|&p| pt[p]));
-            if let Some(matches) = table.get(key.as_slice()) {
+        let mut data: Vec<u64> = Vec::new();
+        let mut rows = 0usize;
+        let mut scratch: Vec<u64> = Vec::with_capacity(probe_key.len());
+        for pt in probe.rows() {
+            if let Some(matches) = table.get(pt, &probe_key, &mut scratch) {
                 for &bi in matches {
-                    let bt = &build.tuples[bi];
-                    let out: Vec<u64> = srcs
-                        .iter()
-                        .map(|s| match *s {
-                            Src::Build(p) => bt[p],
-                            Src::Probe(p) => pt[p],
-                        })
-                        .collect();
-                    tuples.push(out);
+                    let bt = build.row(bi);
+                    data.extend(srcs.iter().map(|s| match *s {
+                        Src::Build(p) => bt[p],
+                        Src::Probe(p) => pt[p],
+                    }));
+                    rows += 1;
                 }
             }
         }
-        tuples.sort_unstable();
-        tuples.dedup();
-        Relation::from_normalized(out_attrs, tuples)
+        debug_assert_eq!(data.len(), rows * out_arity);
+        Relation::from_row_major(out_attrs, rows, data)
     }
 
     /// Natural semijoin `self ⋉ other = π_self(self ⋈ other)`, computed
@@ -417,41 +717,64 @@ impl Relation {
     }
 
     /// The probe half of a semijoin: keeps the tuples whose `my_key` columns
-    /// hit `index`. Reuses one scratch key buffer across probe tuples.
+    /// hit `index`, gathered contiguously into one flat buffer (filtering
+    /// preserves normalization).
     pub(crate) fn semijoin_filtered(&self, my_key: &[usize], index: &KeyIndex) -> Relation {
-        let mut key: Vec<u64> = Vec::with_capacity(my_key.len());
-        let tuples: Vec<Vec<u64>> = self
-            .tuples
-            .iter()
-            .filter(|t| {
-                key.clear();
-                key.extend(my_key.iter().map(|&p| t[p]));
-                index.contains_key(key.as_slice())
-            })
-            .cloned()
-            .collect();
-        // already sorted and unique: filtering preserves both
-        Relation::from_normalized(self.attrs.clone(), tuples)
+        let mut scratch: Vec<u64> = Vec::with_capacity(my_key.len());
+        // The output is bounded by the input; reserving the bound up front
+        // avoids doubling reallocations, and a highly selective filter
+        // gives the excess back.
+        let mut data: Vec<u64> = Vec::with_capacity(self.len * self.arity);
+        let mut kept = 0usize;
+        for t in self.rows() {
+            if index.contains(t, my_key, &mut scratch) {
+                data.extend_from_slice(t);
+                kept += 1;
+            }
+        }
+        if data.capacity() > 2 * data.len() {
+            data.shrink_to_fit();
+        }
+        Relation::from_normalized(self.attrs.clone(), kept, data)
     }
 
-    /// Set union of two relations over the same attribute set.
+    /// Set union of two relations over the same attribute set, computed as
+    /// a sorted merge of the two flat buffers (both inputs are normalized).
     ///
     /// # Panics
     ///
     /// Panics if the attribute sets differ.
     pub fn union(&self, other: &Relation) -> Relation {
         assert_eq!(self.attrs, other.attrs, "union requires equal schemas");
-        let mut tuples = self.tuples.clone();
-        tuples.extend(other.tuples.iter().cloned());
-        tuples.sort_unstable();
-        tuples.dedup();
-        Relation::from_normalized(self.attrs.clone(), tuples)
+        let mut data = Vec::with_capacity((self.len + other.len) * self.arity);
+        let mut rows = 0usize;
+        let mut a = self.rows().peekable();
+        let mut b = other.rows().peekable();
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => match x.cmp(y) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => {
+                        b.next();
+                        true
+                    }
+                },
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let t = if take_a { a.next() } else { b.next() }.expect("peeked");
+            data.extend_from_slice(t);
+            rows += 1;
+        }
+        Relation::from_normalized(self.attrs.clone(), rows, data)
     }
 
     /// Whether `self ⊆ other` as tuple sets (same attribute set required).
     pub fn is_subset(&self, other: &Relation) -> bool {
         assert_eq!(self.attrs, other.attrs, "comparison requires equal schemas");
-        self.tuples.iter().all(|t| other.contains(t))
+        self.rows().all(|t| other.contains(t))
     }
 
     /// Renders a small relation as an ASCII table for diagnostics.
@@ -460,7 +783,7 @@ impl Relation {
         let mut out = String::new();
         let header: Vec<&str> = self.attrs.iter().map(|a| cat.name(a)).collect();
         writeln!(out, "| {} |", header.join(" | ")).expect("write to string");
-        for t in &self.tuples {
+        for t in self.rows() {
             let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
             writeln!(out, "| {} |", row.join(" | ")).expect("write to string");
         }
@@ -475,12 +798,7 @@ impl Relation {
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Relation({:?}, {} tuples)",
-            self.attrs,
-            self.tuples.len()
-        )
+        write!(f, "Relation({:?}, {} tuples)", self.attrs, self.len)
     }
 }
 
@@ -495,9 +813,22 @@ mod tests {
     #[test]
     fn construction_normalizes() {
         let r = Relation::new(attrs(&[0, 1]), vec![vec![2, 2], vec![1, 1], vec![2, 2]]);
-        assert_eq!(r.tuples(), &[vec![1, 1], vec![2, 2]]);
+        assert_eq!(r.to_vecs(), vec![vec![1, 1], vec![2, 2]]);
         assert!(r.contains(&[2, 2]));
         assert!(!r.contains(&[3, 3]));
+    }
+
+    #[test]
+    fn flat_construction_matches_nested() {
+        let nested = Relation::new(
+            attrs(&[0, 1, 2]),
+            vec![vec![3, 1, 2], vec![1, 1, 1], vec![3, 1, 2]],
+        );
+        let flat = Relation::from_row_major(attrs(&[0, 1, 2]), 3, vec![3, 1, 2, 1, 1, 1, 3, 1, 2]);
+        assert_eq!(nested, flat);
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.data(), &[1, 1, 1, 3, 1, 2]);
+        assert_eq!(flat.arity(), 3);
     }
 
     #[test]
@@ -507,10 +838,39 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "flat buffer length")]
+    fn flat_length_mismatch_panics() {
+        Relation::from_row_major(attrs(&[0, 1]), 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rows_iterator_is_exact_and_flat() {
+        let r = Relation::new(attrs(&[0, 1]), vec![vec![2, 20], vec![1, 10]]);
+        let rows: Vec<&[u64]> = r.rows().collect();
+        assert_eq!(rows, vec![&[1u64, 10][..], &[2, 20]]);
+        assert_eq!(r.rows().len(), 2);
+        assert_eq!(r.row(1), &[2, 20]);
+    }
+
+    #[test]
+    fn arity_zero_rows() {
+        let id = Relation::identity();
+        assert_eq!(id.len(), 1);
+        assert_eq!(id.rows().collect::<Vec<_>>(), vec![&[] as &[u64]]);
+        assert!(id.contains(&[]));
+        let nothing = Relation::empty(AttrSet::empty());
+        assert_eq!(nothing.rows().count(), 0);
+        assert!(!nothing.contains(&[]));
+        // Many empty tuples collapse to the identity.
+        let collapsed = Relation::new(AttrSet::empty(), vec![vec![], vec![], vec![]]);
+        assert_eq!(collapsed, id);
+    }
+
+    #[test]
     fn projection_dedups() {
         let r = Relation::new(attrs(&[0, 1]), vec![vec![1, 10], vec![1, 20], vec![2, 10]]);
         let p = r.project(&attrs(&[0]));
-        assert_eq!(p.tuples(), &[vec![1], vec![2]]);
+        assert_eq!(p.to_vecs(), vec![vec![1], vec![2]]);
     }
 
     #[test]
@@ -528,7 +888,7 @@ mod tests {
         let s = Relation::new(attrs(&[1, 2]), vec![vec![10, 100], vec![10, 101]]);
         let j = r.natural_join(&s);
         assert_eq!(j.attrs(), &attrs(&[0, 1, 2]));
-        assert_eq!(j.tuples(), &[vec![1, 10, 100], vec![1, 10, 101]]);
+        assert_eq!(j.to_vecs(), vec![vec![1, 10, 100], vec![1, 10, 101]]);
     }
 
     #[test]
@@ -566,7 +926,7 @@ mod tests {
         let s = Relation::new(attrs(&[1, 2]), vec![vec![10, 5]]);
         let sj = r.semijoin(&s);
         assert_eq!(sj.attrs(), r.attrs());
-        assert_eq!(sj.tuples(), &[vec![1, 10]]);
+        assert_eq!(sj.to_vecs(), vec![vec![1, 10]]);
         // definition check: R ⋉ S = π_R(R ⋈ S)
         assert_eq!(sj, r.natural_join(&s).project(r.attrs()));
     }
@@ -582,6 +942,25 @@ mod tests {
     }
 
     #[test]
+    fn wide_key_join_and_semijoin() {
+        // Shared attribute sets of width ≥ 3 exercise the packed wide-key
+        // index paths.
+        let r = Relation::new(
+            attrs(&[0, 1, 2, 3]),
+            vec![vec![1, 2, 3, 4], vec![1, 2, 9, 4], vec![5, 6, 7, 8]],
+        );
+        let s = Relation::new(
+            attrs(&[0, 1, 2, 9]),
+            vec![vec![1, 2, 3, 0], vec![5, 6, 0, 0]],
+        );
+        let sj = r.semijoin(&s);
+        assert_eq!(sj.to_vecs(), vec![vec![1, 2, 3, 4]]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.to_vecs(), vec![vec![1, 2, 3, 4, 0]]);
+        assert_eq!(sj, j.project(r.attrs()));
+    }
+
+    #[test]
     fn union_and_subset() {
         let r = Relation::new(attrs(&[0]), vec![vec![1]]);
         let s = Relation::new(attrs(&[0]), vec![vec![2]]);
@@ -592,11 +971,22 @@ mod tests {
     }
 
     #[test]
-    fn clones_share_derivation_caches() {
+    fn union_merges_overlapping_sorted_inputs() {
+        let r = Relation::new(attrs(&[0, 1]), vec![vec![1, 1], vec![3, 3], vec![5, 5]]);
+        let s = Relation::new(attrs(&[0, 1]), vec![vec![2, 2], vec![3, 3], vec![6, 6]]);
+        let u = r.union(&s);
+        assert_eq!(
+            u.to_vecs(),
+            vec![vec![1, 1], vec![2, 2], vec![3, 3], vec![5, 5], vec![6, 6]]
+        );
+        assert_eq!(Relation::identity().union(&Relation::identity()).len(), 1);
+    }
+
+    #[test]
+    fn clones_share_storage_and_derivation_caches() {
         let r = Relation::new(attrs(&[0, 1]), vec![vec![1, 10], vec![2, 20]]);
         let key = attrs(&[1]);
         let idx = r.key_index(&key);
-        assert_eq!(idx.len(), 2);
         let clone = r.clone();
         assert!(
             Arc::ptr_eq(&idx, &clone.key_index(&key)),
@@ -606,6 +996,7 @@ mod tests {
             &r.positions_cached(&key),
             &clone.positions_cached(&key)
         ));
+        assert_eq!(clone.data(), r.data(), "clones share the flat buffer");
     }
 
     #[test]
@@ -624,7 +1015,7 @@ mod tests {
         let first = r.semijoin(&hub);
         let second = r.semijoin(&hub); // hits hub's cached key index
         assert_eq!(first, second);
-        assert_eq!(first.tuples(), &[vec![1, 10]]);
+        assert_eq!(first.to_vecs(), vec![vec![1, 10]]);
     }
 
     #[test]

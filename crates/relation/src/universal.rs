@@ -45,16 +45,16 @@ mod tests {
     use super::*;
     use gyo_schema::{AttrSet, Catalog};
 
-    fn mk(universal: &str, rows: Vec<Vec<u64>>, cat: &mut Catalog) -> Relation {
+    fn mk(universal: &str, rows: &[&[u64]], cat: &mut Catalog) -> Relation {
         let u = AttrSet::parse(universal, cat).unwrap();
-        Relation::new(u, rows)
+        Relation::new(u, rows.iter().map(|r| r.to_vec()).collect())
     }
 
     #[test]
     fn jd_holds_for_product_like_relation() {
         let mut cat = Catalog::alphabetic();
         // I = {(a,b,c)} singleton always satisfies every jd over abc.
-        let i = mk("abc", vec![vec![1, 2, 3]], &mut cat);
+        let i = mk("abc", &[&[1, 2, 3]], &mut cat);
         let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
         assert!(satisfies_jd(&i, &d));
     }
@@ -64,7 +64,7 @@ mod tests {
         let mut cat = Catalog::alphabetic();
         // Two tuples agreeing on b but differing on a and c: joining the
         // projections invents the mixed tuples.
-        let i = mk("abc", vec![vec![1, 5, 10], vec![2, 5, 20]], &mut cat);
+        let i = mk("abc", &[&[1, 5, 10], &[2, 5, 20]], &mut cat);
         let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
         assert!(!satisfies_jd(&i, &d));
         let closed = join_of_projections(&i, &d);
@@ -77,11 +77,11 @@ mod tests {
         let mut cat = Catalog::alphabetic();
         let i = mk(
             "abcd",
-            vec![
-                vec![1, 5, 10, 7],
-                vec![2, 5, 20, 7],
-                vec![2, 6, 20, 8],
-                vec![3, 6, 30, 8],
+            &[
+                &[1, 5, 10, 7],
+                &[2, 5, 20, 7],
+                &[2, 6, 20, 8],
+                &[3, 6, 30, 8],
             ],
             &mut cat,
         );
@@ -101,7 +101,7 @@ mod tests {
     fn embedded_jd_projects_first() {
         let mut cat = Catalog::alphabetic();
         // U = abcd but the jd only covers abc.
-        let i = mk("abcd", vec![vec![1, 2, 3, 4], vec![1, 2, 3, 5]], &mut cat);
+        let i = mk("abcd", &[&[1, 2, 3, 4], &[1, 2, 3, 5]], &mut cat);
         let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
         assert!(satisfies_jd(&i, &d));
     }

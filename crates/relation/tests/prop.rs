@@ -1,5 +1,9 @@
 //! Property tests for the relational algebra: the equational laws the
-//! paper's query rewrites depend on.
+//! paper's query rewrites depend on, plus the flat-storage invariants
+//! (round-trip through the `Vec<Vec<u64>>` shim, operator equivalence
+//! against naive per-row reference implementations).
+
+use std::collections::BTreeSet;
 
 use gyo_relation::{join_of_projections, satisfies_jd, DbState, Relation};
 use gyo_schema::{AttrSet, DbSchema};
@@ -114,5 +118,87 @@ proptest! {
     fn join_distributes_over_semijoin_reduction(r in any_relation(), s in any_relation()) {
         // R ⋈ S = (R ⋉ S) ⋈ S — the identity every full reducer rests on.
         prop_assert_eq!(r.natural_join(&s), r.semijoin(&s).natural_join(&s));
+    }
+
+    /// Flat-layout round trip: `Relation::new(attrs, vecs)` ↔ `rows()`
+    /// preserves the sorted-dedup normalization invariant in both
+    /// directions, and the flat constructor agrees with the nested one.
+    #[test]
+    fn flat_storage_round_trips(attrs in proptest::collection::vec(0u32..W as u32, 1..=W),
+                                rows in proptest::collection::vec(proptest::collection::vec(0u64..4, W), 0..12)) {
+        let set = AttrSet::from_raw(&attrs);
+        let width = set.len();
+        let vecs: Vec<Vec<u64>> = rows.iter().map(|r| r[..width].to_vec()).collect();
+        let r = Relation::new(set.clone(), vecs.clone());
+
+        // rows() yields exactly the sorted, deduplicated input.
+        let expected: Vec<Vec<u64>> = vecs.iter().cloned().collect::<BTreeSet<_>>().into_iter().collect();
+        let via_rows: Vec<Vec<u64>> = r.rows().map(<[u64]>::to_vec).collect();
+        prop_assert_eq!(&via_rows, &expected);
+        prop_assert_eq!(r.to_vecs(), expected);
+        prop_assert_eq!(r.len(), via_rows.len());
+
+        // rows are strictly increasing slices of the flat buffer, stride = arity.
+        prop_assert_eq!(r.data().len(), r.len() * r.arity());
+        for w in via_rows.windows(2) {
+            prop_assert!(w[0] < w[1], "rows not strictly sorted");
+        }
+
+        // rebuild from the shim and from the flat buffer: both identical.
+        prop_assert_eq!(&Relation::new(set.clone(), r.to_vecs()), &r);
+        let flat: Vec<u64> = vecs.iter().flatten().copied().collect();
+        prop_assert_eq!(&Relation::from_row_major(set, vecs.len(), flat), &r);
+    }
+
+    /// Storage equivalence: the flat-buffer operators compute exactly the
+    /// sets a naive per-row reference implementation produces.
+    #[test]
+    fn operators_match_reference_semantics(r in any_relation(), s in any_relation(), onto in proptest::collection::vec(0u32..W as u32, 0..=W)) {
+        // projection reference (clip onto to r's schema)
+        let onto = AttrSet::from_raw(&onto).intersect(r.attrs());
+        let pos: Vec<usize> = onto.iter()
+            .map(|a| r.attrs().iter().position(|b| b == a).unwrap())
+            .collect();
+        let expect_proj: BTreeSet<Vec<u64>> = r.rows()
+            .map(|t| pos.iter().map(|&p| t[p]).collect())
+            .collect();
+        let proj = r.project(&onto);
+        prop_assert_eq!(proj.to_vecs(), expect_proj.into_iter().collect::<Vec<_>>());
+
+        // natural-join reference: nested loops over the shim rows
+        let shared = r.attrs().intersect(s.attrs());
+        let rp: Vec<usize> = shared.iter().map(|a| r.attrs().iter().position(|b| b == a).unwrap()).collect();
+        let sp: Vec<usize> = shared.iter().map(|a| s.attrs().iter().position(|b| b == a).unwrap()).collect();
+        let out_attrs = r.attrs().union(s.attrs());
+        let mut expect_join: BTreeSet<Vec<u64>> = BTreeSet::new();
+        for tr in r.rows() {
+            for ts in s.rows() {
+                if rp.iter().zip(&sp).all(|(&p, &q)| tr[p] == ts[q]) {
+                    let out: Vec<u64> = out_attrs.iter().map(|a| {
+                        match r.attrs().iter().position(|b| b == a) {
+                            Some(p) => tr[p],
+                            None => ts[s.attrs().iter().position(|b| b == a).unwrap()],
+                        }
+                    }).collect();
+                    expect_join.insert(out);
+                }
+            }
+        }
+        let j = r.natural_join(&s);
+        prop_assert_eq!(j.attrs(), &out_attrs);
+        prop_assert_eq!(j.to_vecs(), expect_join.into_iter().collect::<Vec<_>>());
+
+        // semijoin reference
+        let expect_semi: Vec<Vec<u64>> = r.rows()
+            .filter(|tr| s.rows().any(|ts| rp.iter().zip(&sp).all(|(&p, &q)| tr[p] == ts[q])))
+            .map(<[u64]>::to_vec)
+            .collect();
+        prop_assert_eq!(r.semijoin(&s).to_vecs(), expect_semi);
+
+        // union reference (same-schema only)
+        if r.attrs() == s.attrs() {
+            let expect_union: BTreeSet<Vec<u64>> = r.rows().chain(s.rows()).map(<[u64]>::to_vec).collect();
+            prop_assert_eq!(r.union(&s).to_vecs(), expect_union.into_iter().collect::<Vec<_>>());
+        }
     }
 }

@@ -8,26 +8,36 @@
 //! relational engine, which gives the library two *independent* semantics
 //! for every query: symbolic (this module) and algebraic (`gyo-relation`).
 //!
+//! The instance is a [`Relation`] and every tuple access is a `&[u64]`
+//! row slice of its flat buffer; matches are collected into one flat
+//! output buffer, so evaluation allocates nothing per tuple.
+//!
 //! Evaluation is backtracking join with most-constrained-row selection,
 //! mirroring the containment-mapping search in [`crate::mapping`] — the
 //! Chandra–Merlin correspondence made executable.
 
+use gyo_relation::Relation;
 use gyo_schema::FxHashMap;
 
 use crate::symbol::Symbol;
 use crate::tableau::Tableau;
 
-/// All tuples (in `T.target()` column order) produced by evaluating the
-/// tableau on the tuple set `universal` (column order = `T.attrs()` order).
+/// Evaluates the tableau on the universal instance `universal` (a relation
+/// whose column order matches `T.attrs()` order), returning the answer
+/// relation over `T.target()` — normalized exactly like every other
+/// [`Relation`].
 ///
-/// Duplicates are removed and the result is sorted, matching the
-/// normalization of `gyo_relation::Relation`.
-pub fn evaluate(t: &Tableau, universal: &[Vec<u64>]) -> Vec<Vec<u64>> {
-    let width = t.attrs().len();
-    for row in universal {
-        assert_eq!(row.len(), width, "universal tuple arity mismatch");
-    }
-    let mut results: Vec<Vec<u64>> = Vec::new();
+/// # Panics
+///
+/// Panics if `universal`'s attribute set differs from `T.attrs()`.
+pub fn evaluate(t: &Tableau, universal: &Relation) -> Relation {
+    assert_eq!(
+        universal.attrs(),
+        t.attrs(),
+        "universal instance must range over the tableau's attributes"
+    );
+    let mut results: Vec<u64> = Vec::new();
+    let mut result_rows = 0usize;
     let mut binding: FxHashMap<Symbol, u64> = FxHashMap::default();
     let mut assigned = vec![usize::MAX; t.row_count()];
 
@@ -35,16 +45,21 @@ pub fn evaluate(t: &Tableau, universal: &[Vec<u64>]) -> Vec<Vec<u64>> {
     // but with no rows there are no bindings — only valid if X is empty.
     if t.row_count() == 0 {
         return if t.target().is_empty() {
-            vec![Vec::new()]
+            Relation::identity()
         } else {
-            Vec::new()
+            Relation::empty(t.target().clone())
         };
     }
 
-    search(t, universal, &mut assigned, &mut binding, &mut results);
-    results.sort_unstable();
-    results.dedup();
-    results
+    search(
+        t,
+        universal,
+        &mut assigned,
+        &mut binding,
+        &mut results,
+        &mut result_rows,
+    );
+    Relation::from_row_major(t.target().clone(), result_rows, results)
 }
 
 fn row_matches(t: &Tableau, row: usize, tuple: &[u64], binding: &FxHashMap<Symbol, u64>) -> bool {
@@ -54,13 +69,13 @@ fn row_matches(t: &Tableau, row: usize, tuple: &[u64], binding: &FxHashMap<Symbo
         .all(|(&sym, &v)| binding.get(&sym).is_none_or(|&b| b == v))
 }
 
-#[allow(clippy::needless_range_loop)]
 fn search(
     t: &Tableau,
-    universal: &[Vec<u64>],
+    universal: &Relation,
     assigned: &mut [usize],
     binding: &mut FxHashMap<Symbol, u64>,
-    results: &mut Vec<Vec<u64>>,
+    results: &mut Vec<u64>,
+    result_rows: &mut usize,
 ) {
     // pick the unassigned row with the fewest matching tuples
     let mut best: Option<(usize, Vec<usize>)> = None;
@@ -69,7 +84,7 @@ fn search(
             continue;
         }
         let matches: Vec<usize> = (0..universal.len())
-            .filter(|&u| row_matches(t, row, &universal[u], binding))
+            .filter(|&u| row_matches(t, row, universal.row(u), binding))
             .collect();
         if matches.is_empty() {
             return; // dead end
@@ -85,18 +100,18 @@ fn search(
     }
     let Some((row, matches)) = best else {
         // all rows assigned: read off the summary
-        let out: Vec<u64> = t
-            .target()
-            .iter()
-            .map(|a| binding[&Symbol::Distinguished(a)])
-            .collect();
-        results.push(out);
+        results.extend(
+            t.target()
+                .iter()
+                .map(|a| binding[&Symbol::Distinguished(a)]),
+        );
+        *result_rows += 1;
         return;
     };
     for u in matches {
         let mut added: Vec<Symbol> = Vec::new();
         let mut ok = true;
-        for (&sym, &v) in t.rows()[row].iter().zip(&universal[u]) {
+        for (&sym, &v) in t.rows()[row].iter().zip(universal.row(u)) {
             match binding.get(&sym) {
                 Some(&b) if b == v => {}
                 Some(_) => {
@@ -111,7 +126,7 @@ fn search(
         }
         if ok {
             assigned[row] = u;
-            search(t, universal, assigned, binding, results);
+            search(t, universal, assigned, binding, results, result_rows);
             assigned[row] = usize::MAX;
         }
         for s in added {
@@ -132,27 +147,35 @@ mod tests {
         (Tableau::standard(&d, &xs), d, xs)
     }
 
+    fn instance(t: &Tableau, rows: &[&[u64]]) -> Relation {
+        Relation::new(t.attrs().clone(), rows.iter().map(|r| r.to_vec()).collect())
+    }
+
     #[test]
     fn chain_query_on_tiny_instance() {
         let (t, _, _) = setup("ab, bc", "ac");
         // I = {(1,2,3), (4,2,5)} over abc: joining ab with bc through b=2
         // yields (a,c) ∈ {(1,3),(1,5),(4,3),(4,5)}.
-        let i = vec![vec![1, 2, 3], vec![4, 2, 5]];
+        let i = instance(&t, &[&[1, 2, 3], &[4, 2, 5]]);
         let out = evaluate(&t, &i);
-        assert_eq!(out, vec![vec![1, 3], vec![1, 5], vec![4, 3], vec![4, 5]]);
+        assert_eq!(
+            out.to_vecs(),
+            vec![vec![1, 3], vec![1, 5], vec![4, 3], vec![4, 5]]
+        );
     }
 
     #[test]
     fn empty_instance_empty_answer() {
         let (t, _, _) = setup("ab, bc", "ac");
-        assert!(evaluate(&t, &[]).is_empty());
+        let empty = Relation::empty(t.attrs().clone());
+        assert!(evaluate(&t, &empty).is_empty());
     }
 
     #[test]
     fn boolean_query_on_nonempty_instance() {
         let (t, _, _) = setup("ab, bc", "");
-        let out = evaluate(&t, &[vec![1, 2, 3]]);
-        assert_eq!(out, vec![Vec::<u64>::new()], "π_∅ of a nonempty join");
+        let out = evaluate(&t, &instance(&t, &[&[1, 2, 3]]));
+        assert_eq!(out, Relation::identity(), "π_∅ of a nonempty join");
     }
 
     #[test]
@@ -160,9 +183,9 @@ mod tests {
         let (t, _, _) = setup("ab, bc, ac", "abc");
         // Two tuples whose pairwise projections join freely but whose
         // triangle closes only on the original tuples.
-        let i = vec![vec![0, 0, 1], vec![1, 0, 0]];
+        let i = instance(&t, &[&[0, 0, 1], &[1, 0, 0]]);
         let out = evaluate(&t, &i);
-        assert_eq!(out, vec![vec![0, 0, 1], vec![1, 0, 0]]);
+        assert_eq!(out, i);
     }
 
     #[test]
@@ -179,37 +202,15 @@ mod tests {
             let (t, d, xs) = setup(schema, x);
             let u = d.attributes();
             for round in 0..5 {
-                let rows: Vec<Vec<u64>> = (0..12)
-                    .map(|_| (0..u.len()).map(|_| rng.random_range(0..4u64)).collect())
+                let data: Vec<u64> = (0..12 * u.len())
+                    .map(|_| rng.random_range(0..4u64))
                     .collect();
-                let i = gyo_relation_shim::relation(&u, rows.clone());
-                let state = gyo_relation_shim::ur_state(&i, &d);
-                let algebraic = gyo_relation_shim::eval(&state, &xs);
-                let symbolic = evaluate(&t, i.tuples());
-                assert_eq!(
-                    symbolic,
-                    algebraic.tuples().to_vec(),
-                    "case ({schema}, {x}), round {round}"
-                );
+                let i = Relation::from_row_major(u.clone(), 12, data);
+                let state = gyo_relation::DbState::from_universal(&i, &d);
+                let algebraic = state.eval_join_query(&xs);
+                let symbolic = evaluate(&t, &i);
+                assert_eq!(symbolic, algebraic, "case ({schema}, {x}), round {round}");
             }
-        }
-    }
-
-    /// Thin indirection so the dev-dependency surface stays explicit.
-    mod gyo_relation_shim {
-        pub use gyo_relation::Relation;
-        use gyo_schema::{AttrSet, DbSchema};
-
-        pub fn relation(attrs: &AttrSet, rows: Vec<Vec<u64>>) -> Relation {
-            Relation::new(attrs.clone(), rows)
-        }
-
-        pub fn ur_state(i: &Relation, d: &DbSchema) -> gyo_relation::DbState {
-            gyo_relation::DbState::from_universal(i, d)
-        }
-
-        pub fn eval(state: &gyo_relation::DbState, x: &AttrSet) -> Relation {
-            state.eval_join_query(x)
         }
     }
 }

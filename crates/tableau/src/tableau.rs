@@ -127,8 +127,10 @@ impl Tableau {
 
     /// **Freezes** the tableau into a canonical database instance: every
     /// distinct symbol becomes a distinct `u64` value and each row becomes a
-    /// tuple over `attrs`. Returns the tuples plus the frozen image of the
-    /// summary row (the distinguished values, in `target` column order).
+    /// tuple over `attrs`. Returns the tuples (one flat row-major buffer,
+    /// stride = `attrs.len()`, row order = tableau row order, duplicates
+    /// kept) plus the frozen image of the summary row (the distinguished
+    /// values, in `target` column order).
     ///
     /// Evaluating a query on the frozen instance implements the
     /// Chandra–Merlin containment test; see `gyo-query`.
@@ -142,11 +144,10 @@ impl Tableau {
                 v
             })
         };
-        let tuples: Vec<Vec<u64>> = self
-            .rows
-            .iter()
-            .map(|row| row.iter().map(|&s| value(s, &mut ids)).collect())
-            .collect();
+        let mut data = Vec::with_capacity(self.rows.len() * self.attrs.len());
+        for row in &self.rows {
+            data.extend(row.iter().map(|&s| value(s, &mut ids)));
+        }
         let summary: Vec<u64> = self
             .target
             .iter()
@@ -155,7 +156,8 @@ impl Tableau {
         FrozenTableau {
             attrs: self.attrs.clone(),
             target: self.target.clone(),
-            tuples,
+            rows: self.rows.len(),
+            data,
             summary,
         }
     }
@@ -200,16 +202,52 @@ impl fmt::Debug for Tableau {
 
 /// The frozen (canonical) database instance of a tableau; see
 /// [`Tableau::freeze`].
+///
+/// Tuples live in one flat row-major buffer (`data`), preserving the
+/// tableau's row order *including duplicates* (distinct tableau rows can
+/// freeze to equal tuples when `D` repeats a relation schema); converting
+/// to a [`Relation`](gyo_relation::Relation) via
+/// [`FrozenTableau::to_relation`] normalizes them away.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FrozenTableau {
     /// Column attributes of the tuples.
     pub attrs: AttrSet,
     /// The query target `X`.
     pub target: AttrSet,
-    /// One tuple per tableau row (column order = `attrs` order).
-    pub tuples: Vec<Vec<u64>>,
+    /// Number of frozen tuples (= tableau rows, duplicates included).
+    /// Tracked explicitly because `data` alone cannot count rows when
+    /// `attrs` is empty (zero-arity relation schemas are legal).
+    pub rows: usize,
+    /// Row-major tuple values: row `i` at `data[i·w..(i+1)·w]` for
+    /// `w = attrs.len()` (column order = `attrs` order).
+    pub data: Vec<u64>,
     /// The frozen summary row: distinguished values in `target` order.
     pub summary: Vec<u64>,
+}
+
+impl FrozenTableau {
+    /// Number of frozen tuples (= tableau rows, duplicates included).
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Frozen tuple `i` as a slice of the flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.row_count()`.
+    pub fn row(&self, i: usize) -> &[u64] {
+        assert!(i < self.rows, "row {} out of range ({} rows)", i, self.rows);
+        let w = self.attrs.len();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// The canonical instance as a normalized
+    /// [`Relation`](gyo_relation::Relation) (sorted, deduplicated) over
+    /// `attrs`.
+    pub fn to_relation(&self) -> gyo_relation::Relation {
+        gyo_relation::Relation::from_row_major(self.attrs.clone(), self.rows, self.data.clone())
+    }
 }
 
 #[cfg(test)]
@@ -273,13 +311,17 @@ mod tests {
     fn freeze_assigns_distinct_values_to_distinct_symbols() {
         let (t, _, _) = setup("ab, bc", "b");
         let f = t.freeze();
-        assert_eq!(f.tuples.len(), 2);
+        assert_eq!(f.row_count(), 2);
         // shared/distinguished b is the same value in both rows
-        assert_eq!(f.tuples[0][1], f.tuples[1][1]);
+        assert_eq!(f.row(0)[1], f.row(1)[1]);
         // uniques differ from everything
-        assert_ne!(f.tuples[0][2], f.tuples[1][2]);
+        assert_ne!(f.row(0)[2], f.row(1)[2]);
         // summary carries the distinguished value of b
-        assert_eq!(f.summary, vec![f.tuples[0][1]]);
+        assert_eq!(f.summary, vec![f.row(0)[1]]);
+        // the canonical instance is the normalized relation over attrs
+        let rel = f.to_relation();
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(f.row(0)) && rel.contains(f.row(1)));
     }
 
     #[test]
@@ -291,12 +333,27 @@ mod tests {
     }
 
     #[test]
+    fn zero_arity_schema_freezes_to_identity() {
+        // A zero-arity relation schema is legal; its tableau has one row
+        // with no columns, and the canonical instance is {()} — the row
+        // count must survive freezing even though `data` is empty.
+        let d = DbSchema::new(vec![AttrSet::empty()]);
+        let t = Tableau::standard(&d, &AttrSet::empty());
+        assert_eq!(t.row_count(), 1);
+        let f = t.freeze();
+        assert_eq!(f.row_count(), 1);
+        assert!(f.data.is_empty());
+        assert_eq!(f.to_relation(), gyo_relation::Relation::identity());
+    }
+
+    #[test]
     fn empty_schema_tableau() {
         let d = DbSchema::empty();
         let t = Tableau::standard(&d, &AttrSet::empty());
         assert_eq!(t.row_count(), 0);
         let f = t.freeze();
-        assert!(f.tuples.is_empty());
+        assert_eq!(f.row_count(), 0);
+        assert!(f.data.is_empty());
         assert!(f.summary.is_empty());
     }
 }

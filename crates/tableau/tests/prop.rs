@@ -130,14 +130,14 @@ proptest! {
         let x = target_of(&d, k);
         let t = Tableau::standard(&d, &x);
         let f = t.freeze();
-        prop_assert_eq!(f.tuples.len(), t.row_count());
+        prop_assert_eq!(f.row_count(), t.row_count());
         prop_assert_eq!(f.summary.len(), x.len());
         // each column's values: shared symbols appear as equal values in
         // the rows whose schema holds the attribute
         for (c, a) in t.attrs().iter().enumerate() {
             let holders: Vec<usize> = (0..d.len()).filter(|&i| d.rel(i).contains(a)).collect();
             for w in holders.windows(2) {
-                prop_assert_eq!(f.tuples[w[0]][c], f.tuples[w[1]][c]);
+                prop_assert_eq!(f.row(w[0])[c], f.row(w[1])[c]);
             }
         }
     }

@@ -20,10 +20,10 @@ pub fn random_universal<R: Rng + ?Sized>(
 ) -> Relation {
     assert!(domain > 0, "domain must be nonempty");
     let width = attrs.len();
-    let tuples: Vec<Vec<u64>> = (0..rows)
-        .map(|_| (0..width).map(|_| rng.random_range(0..domain)).collect())
+    let data: Vec<u64> = (0..rows * width)
+        .map(|_| rng.random_range(0..domain))
         .collect();
-    Relation::new(attrs.clone(), tuples)
+    Relation::from_row_major(attrs.clone(), rows, data)
 }
 
 /// A random universal relation already satisfying `⋈D`, produced by one
@@ -74,13 +74,12 @@ pub fn noisy_ur_state<R: Rng + ?Sized>(
     let rels: Vec<Relation> = d
         .iter()
         .map(|r| {
-            let mut tuples: Vec<Vec<u64>> = universal.project(r).tuples().to_vec();
-            tuples.extend((0..noise_rows).map(|_| {
-                (0..r.len())
-                    .map(|_| rng.random_range(0..domain))
-                    .collect::<Vec<u64>>()
-            }));
-            Relation::new(r.clone(), tuples)
+            // Extend the projection's flat buffer with noise rows in place —
+            // no per-tuple allocation on either side.
+            let proj = universal.project(r);
+            let mut data = proj.data().to_vec();
+            data.extend((0..noise_rows * r.len()).map(|_| rng.random_range(0..domain)));
+            Relation::from_row_major(r.clone(), proj.len() + noise_rows, data)
         })
         .collect();
     DbState::new(d, rels)

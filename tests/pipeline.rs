@@ -139,7 +139,7 @@ fn frozen_tableau_identity() {
         let d = DbSchema::parse(s, &mut cat).unwrap();
         let x = AttrSet::parse(xs, &mut cat).unwrap();
         let frozen = Tableau::standard(&d, &x).freeze();
-        let i = Relation::new(frozen.attrs.clone(), frozen.tuples.clone());
+        let i = frozen.to_relation();
         let state = ur_state(&i, &d);
         let answer = state.eval_join_query(&x);
         assert!(answer.contains(&frozen.summary), "case ({s}, {xs})");
