@@ -14,6 +14,7 @@ use gyo_core::schema::qual::maximum_weight_join_tree;
 use gyo_core::{AttrSet, DbState, Engine, FullReducerEngine, IncrementalEngine, NaiveEngine};
 use gyo_workloads::{
     aclique_n, aring_n, chain, family_state, grid, random_tree_schema, random_universal, star,
+    wide_chain,
 };
 use std::hint::black_box;
 use std::time::Duration;
@@ -90,6 +91,31 @@ fn bench_reduction_engines(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("reduce_cached", n), &state, |b, state| {
             b.iter(|| black_box(cached.reduce(&d, state).unwrap().rel(0).len()))
         });
+    }
+    // Wide-key ids: arity-6 chains overlapping in 3 attributes, so every
+    // semijoin key is width 3 — the packed side-buffer / chunked-memcmp
+    // path of the kernels, where chains above only drive width-1 keys.
+    for n in [8usize, 32] {
+        let d = wide_chain(n, 6, 3);
+        let mut rng = bench_rng();
+        let state = family_state(&mut rng, &d, 256, 64, 32);
+        assert_eq!(
+            cached.reduce(&d, &state).expect("wide chain is a tree"),
+            IncrementalEngine.reduce(&d, &state).unwrap(),
+            "sanity"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reduce_incremental_wide", n),
+            &state,
+            |b, state| {
+                b.iter(|| black_box(IncrementalEngine.reduce(&d, state).unwrap().rel(0).len()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reduce_cached_wide", n),
+            &state,
+            |b, state| b.iter(|| black_box(cached.reduce(&d, state).unwrap().rel(0).len())),
+        );
     }
     group.finish();
 }

@@ -11,8 +11,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gyo_bench::bench_rng;
 use gyo_core::prelude::*;
+use gyo_core::relation::{semijoin_program_with, ExecScratch, SemijoinStep};
 use gyo_core::{Engine, FullReducerEngine};
-use gyo_workloads::{chain, random_universal};
+use gyo_workloads::{chain, family_state, random_universal, tpch_like, wide_chain};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -147,12 +148,96 @@ fn bench_flat_join(c: &mut Criterion) {
     group.finish();
 }
 
+/// The columnar kernel family: selection-vector program execution with a
+/// reusable scratch (`program_chain`), full reduction over the wide-arity
+/// workloads whose semijoin keys stress the wide-key membership path
+/// (`reduce_wide`, `reduce_tpch`), the gather-projection kernel on
+/// scattered columns (`gather_scatter`), and one-shot wide-key semijoins
+/// (`semijoin_wide`).
+fn bench_columnar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("programs/columnar");
+
+    // Raw selection-vector execution of a precompiled chain full reducer:
+    // no plan lookup, no state cloning — just the kernels.
+    for n in [16usize, 64] {
+        let d = chain(n);
+        let mut rng = bench_rng();
+        let state = family_state(&mut rng, &d, 256, 1 << 14, 32);
+        let schemas = d.rels();
+        let mut steps = Vec::new();
+        for v in (1..n).rev() {
+            steps.push(SemijoinStep::new(schemas, v - 1, v)); // upward
+        }
+        for v in 1..n {
+            steps.push(SemijoinStep::new(schemas, v, v - 1)); // downward
+        }
+        let mut scratch = ExecScratch::new();
+        group.bench_with_input(BenchmarkId::new("program_chain", n), &state, |b, state| {
+            b.iter(|| {
+                let mut rels = state.rels().to_vec();
+                semijoin_program_with(&mut rels, &steps, &mut scratch);
+                black_box(rels[0].len())
+            })
+        });
+    }
+
+    // Wide-arity full reduction: arity-6 chains with width-3 semijoin keys
+    // (the packed side-buffer key columns + chunked-memcmp membership), and
+    // the TPC-H-like snowflake.
+    let cached = FullReducerEngine::new();
+    for n in [8usize, 32] {
+        let d = wide_chain(n, 6, 3);
+        let mut rng = bench_rng();
+        let state = family_state(&mut rng, &d, 256, 64, 32);
+        assert!(cached.reduce(&d, &state).is_some(), "wide chain is a tree");
+        group.bench_with_input(BenchmarkId::new("reduce_wide", n), &state, |b, state| {
+            b.iter(|| black_box(cached.reduce(&d, state).unwrap().rel(0).len()))
+        });
+    }
+    {
+        let d = tpch_like();
+        let mut rng = bench_rng();
+        let state = family_state(&mut rng, &d, 1024, 256, 128);
+        assert!(cached.reduce(&d, &state).is_some(), "tpch-like is a tree");
+        group.bench_with_input(
+            BenchmarkId::new("reduce_tpch", 1024usize),
+            &state,
+            |b, state| b.iter(|| black_box(cached.reduce(&d, state).unwrap().rel(0).len())),
+        );
+    }
+
+    // Gather projection over scattered columns, and wide-key semijoins.
+    for rows in [512usize, 2048] {
+        let mut rng = bench_rng();
+        let domain = rows as u64;
+        let wide8 = random_universal(
+            &mut rng,
+            &AttrSet::from_raw(&[0, 1, 2, 3, 4, 5, 6, 7]),
+            rows,
+            domain,
+        );
+        let scattered = AttrSet::from_raw(&[0, 2, 5, 7]);
+        group.bench_with_input(
+            BenchmarkId::new("gather_scatter", rows),
+            &wide8,
+            |b, wide8| b.iter(|| black_box(wide8.project(&scattered).len())),
+        );
+        // Width-3 key: attrs {1,2,3} shared between two arity-5 relations.
+        let r = random_universal(&mut rng, &AttrSet::from_raw(&[0, 1, 2, 3, 4]), rows, 8);
+        let s = random_universal(&mut rng, &AttrSet::from_raw(&[1, 2, 3, 8, 9]), rows, 8);
+        group.bench_with_input(BenchmarkId::new("semijoin_wide", rows), &(), |b, ()| {
+            b.iter(|| black_box(r.semijoin(&s).len()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(900));
-    targets = bench_selectivity_sweep, bench_size_sweep, bench_dead_end, bench_flat_join
+    targets = bench_selectivity_sweep, bench_size_sweep, bench_dead_end, bench_flat_join, bench_columnar
 }
 criterion_main!(benches);

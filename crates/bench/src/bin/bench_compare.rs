@@ -4,11 +4,15 @@
 //!
 //! ```text
 //! bench_compare BASELINE CURRENT [--filter SUBSTRING] [--fail-above FACTOR]
+//!               [--summary]
 //!     Per-id table of baseline vs. current medians with ratios; with
 //!     --fail-above, exits nonzero if any shared id regressed by more than
 //!     FACTOR× (e.g. 2.0). --filter restricts the table (and the gate) to
 //!     ids containing SUBSTRING — CI uses it to hold specific bench
 //!     families (e.g. classify/materialize) to their own thresholds.
+//!     --summary appends one line per bench *family* (the `group/subgroup`
+//!     id prefix) with the geometric mean of its current/baseline ratios —
+//!     the one-screen view of where a change helped and where it cost.
 //!
 //! bench_compare --ratio FILE NUMERATOR_ID DENOMINATOR_ID [MIN]
 //!     Prints median(NUMERATOR_ID) / median(DENOMINATOR_ID) from one file;
@@ -43,6 +47,7 @@ fn compare_mode(args: &[String]) -> ExitCode {
     let mut current = load(&args[1]);
     let mut fail_above: Option<f64> = None;
     let mut filter: Option<String> = None;
+    let mut summary = false;
     let mut rest = args[2..].iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -60,6 +65,7 @@ fn compare_mode(args: &[String]) -> ExitCode {
                         .unwrap_or_else(|| die("--filter needs a SUBSTRING")),
                 )
             }
+            "--summary" => summary = true,
             other => die(&format!("unknown flag {other}")),
         }
     }
@@ -108,6 +114,9 @@ fn compare_mode(args: &[String]) -> ExitCode {
         );
     }
     println!("\n{shared} shared ids; worst current/baseline ratio: {worst:.2}x");
+    if summary {
+        print_summary(&baseline, &current);
+    }
     if let Some(limit) = fail_above {
         // A gate over zero shared ids would pass vacuously — e.g. after a
         // bench id rename leaves the baseline and current sides disjoint —
@@ -122,6 +131,50 @@ fn compare_mode(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Per-family geomean summary: ids group by their `group/subgroup` prefix
+/// (everything before the third-to-last `/`-separated segment, i.e. the
+/// criterion group name), and each family line reports the geometric mean
+/// of the shared ids' current/baseline ratios. The geomean — not the
+/// arithmetic mean — because ratios compose multiplicatively: a 2× win and
+/// a 2× loss must cancel to 1.00x, not average to 1.25x.
+fn print_summary(baseline: &BTreeMap<String, f64>, current: &BTreeMap<String, f64>) {
+    let family_of = |id: &str| -> String {
+        // ids look like `group/subgroup/function/param`; the criterion
+        // group name is everything up to the last two segments.
+        let parts: Vec<&str> = id.split('/').collect();
+        if parts.len() > 2 {
+            parts[..parts.len() - 2].join("/")
+        } else {
+            parts[0].to_string()
+        }
+    };
+    let mut families: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for (id, base_ns) in baseline {
+        if let Some(cur_ns) = current.get(id) {
+            let e = families.entry(family_of(id)).or_insert((0.0, 0));
+            e.0 += (cur_ns / base_ns).ln();
+            e.1 += 1;
+        }
+    }
+    if families.is_empty() {
+        println!("\nno shared ids to summarize");
+        return;
+    }
+    println!("\nper-family geomean (current/baseline):");
+    println!("{:<40} {:>5} {:>9}", "family", "ids", "geomean");
+    for (family, (log_sum, n)) in &families {
+        let geomean = (log_sum / *n as f64).exp();
+        let marker = if geomean > 1.1 {
+            " <-- slower"
+        } else if geomean < 0.9 {
+            " <-- faster"
+        } else {
+            ""
+        };
+        println!("{family:<40} {n:>5} {geomean:>8.2}x{marker}");
+    }
 }
 
 fn ratio_mode(args: &[String]) -> ExitCode {

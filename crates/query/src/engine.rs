@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use gyo_reduce::{gyo_reduce, join_tree_from_trace};
-use gyo_relation::{semijoin_program, DbState, Relation, SemijoinStep};
+use gyo_relation::{semijoin_program_with, DbState, ExecScratch, Relation, SemijoinStep};
 use gyo_schema::{AttrSet, DbSchema, FxHashMap, RootedTree};
 
 use crate::program::Program;
@@ -191,6 +191,11 @@ impl FullReducerPlan {
 #[derive(Debug, Default)]
 pub struct FullReducerEngine {
     plans: Mutex<FxHashMap<Vec<AttrSet>, Option<Arc<FullReducerPlan>>>>,
+    /// Reusable selection-vector execution state: after the first reduction
+    /// at a given shape, program steps run with zero heap allocation (the
+    /// `crates/relation/tests/alloc.rs` counter pins this down). Contended
+    /// callers fall back to a per-call scratch rather than serialize.
+    scratch: Mutex<ExecScratch>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -241,7 +246,12 @@ impl FullReducerEngine {
 
     fn reduce_with_plan(&self, d: &DbSchema, state: &DbState, plan: &FullReducerPlan) -> DbState {
         let mut rels = state.rels().to_vec();
-        semijoin_program(&mut rels, plan.steps());
+        match self.scratch.try_lock() {
+            Ok(mut scratch) => semijoin_program_with(&mut rels, plan.steps(), &mut scratch),
+            // Another thread is mid-reduction on this engine: run with a
+            // fresh scratch instead of serializing behind the lock.
+            Err(_) => semijoin_program_with(&mut rels, plan.steps(), &mut ExecScratch::new()),
+        }
         DbState::new(d, rels)
     }
 }

@@ -5,6 +5,13 @@
 //! part (original relation schemas plus the created ones) — the input to
 //! the tree-projection theorems 6.1–6.4. `P` *solves* `(D, X)` if on every
 //! UR database for `D` the last statement's value is the query answer.
+//!
+//! [`Program::execute`] keeps the §6 new-relation semantics (every
+//! statement materializes, through the columnar operator kernels); the
+//! overwrite-in-place reading of all-semijoin programs — where no
+//! intermediate materializes at all — is
+//! [`gyo_relation::semijoin_program`], which the cached full-reducer
+//! engine executes over reusable selection vectors.
 
 use gyo_relation::{DbState, Relation};
 use gyo_schema::{AttrSet, Catalog, DbSchema};

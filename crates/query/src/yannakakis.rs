@@ -7,6 +7,13 @@
 //! `(D, X)` is then answered by joining along the tree with early
 //! projection, never materializing more columns than `X` plus the
 //! attributes still needed by unjoined subtrees.
+//!
+//! Execution here is deliberately **per-call and operator-at-a-time**
+//! (each semijoin/join/projection runs through `gyo_relation`'s columnar
+//! kernels, but every step materializes its result): this module is the
+//! reference path the cached engine's batched selection-vector executor
+//! ([`gyo_relation::semijoin_program`]) is differentially tested against —
+//! two independent routes to the same reduced states and answers.
 
 use gyo_reduce::{gyo_reduce, join_tree_from_trace};
 use gyo_relation::{DbState, Relation};

@@ -1,23 +1,46 @@
-//! Compiled semijoin programs over relation vectors.
+//! Compiled semijoin programs over relation vectors — selection-vector
+//! execution.
 //!
 //! A full-reducer semijoin program applies `2·(n−1)` semijoins whose key
 //! attributes depend only on the relation *schemas*, never on the data.
 //! [`SemijoinStep`] precompiles the shared attribute set once per schema,
 //! and [`semijoin_program`] executes a whole step sequence without
 //! materializing intermediate relations: semijoins only ever *remove*
-//! tuples, so the executor tracks one alive-bitmask per slot and runs every
+//! tuples, so the executor tracks one reusable [`SelVec`] per slot (the
+//! surviving row indices plus a generation-stamped bitset) and runs every
 //! step over the relations' cached flat key columns (keys of width ≤ 2
-//! packed into scalars) — no per-tuple heap chasing, no per-step allocation
-//! (membership scratch sets are reused across steps). Surviving tuples are materialized once, at the end, and
-//! only for slots that actually lost tuples.
+//! packed into scalars, wider keys in one packed side buffer).
+//!
+//! Every step is two columnar kernels:
+//!
+//! 1. **Build** a membership structure over the *selected* source keys —
+//!    a [`StampTable`] (direct-map, one store per key) when the packed
+//!    `u64` key range is small, a reused hash set otherwise, and a reused
+//!    sorted `(hash, row)` spine for wide keys (probes re-compare the
+//!    actual key slices through the packed side buffers — a chunked memcmp
+//!    — so hash collisions cannot lie).
+//! 2. **Probe** the target's key column through the selection-vector
+//!    retain kernels ([`SelVec::retain_u64`]&c.): fixed-size chunks,
+//!    branchless mask accumulation, no per-row branching.
+//!
+//! All scratch state lives in an [`ExecScratch`] that is reused across
+//! steps *and* across whole program runs, so after warm-up (first run at a
+//! given shape) a full-reducer pass over k relations performs **zero heap
+//! allocation per step** — the repo-level allocation-counter test
+//! (`crates/relation/tests/alloc.rs`) pins this down. Surviving tuples are
+//! materialized once, at the end, and only for slots that actually lost
+//! tuples.
 //!
 //! Because the key columns are cached *on the relations* (and shared by
 //! clones), repeated executions over the same state — the plan-cache usage
 //! pattern of the full-reducer engine — pay the column extraction only
 //! once.
 
-use gyo_schema::{AttrSet, FxHashSet};
+use std::hash::{Hash, Hasher};
 
+use gyo_schema::{AttrSet, FxHashSet, FxHasher};
+
+use crate::kernels::{SelVec, StampTable};
 use crate::relation::{KeyColumn, Relation};
 
 /// One precompiled semijoin statement
@@ -65,29 +88,43 @@ impl SemijoinStep {
     }
 }
 
-/// Per-slot liveness: which tuples of the slot's relation still survive.
-struct Mask {
-    alive: Vec<bool>,
-    kept: usize,
+/// Reusable execution state for [`semijoin_program_with`]: one selection
+/// vector per slot plus the per-step membership scratch (stamp table, hash
+/// sets per packed key width, the wide-key hash spine). Everything is
+/// grow-only — steps after warm-up allocate nothing.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    /// Per-slot liveness (index `i` tracks `rels[i]`).
+    sel: Vec<SelVec>,
+    /// Direct-map membership for small-range packed `u64` keys.
+    stamp: StampTable,
+    /// Hash-set fallback for packed `u64` keys with a large value range.
+    one: FxHashSet<u64>,
+    /// Membership for packed width-2 (`u128`) keys.
+    two: FxHashSet<u128>,
+    /// Wide-key membership spine: `(fxhash(key), source row)`, sorted by
+    /// hash; probes binary-search the hash then memcmp the key slices.
+    wide: Vec<(u64, u32)>,
 }
 
-impl Mask {
-    fn full(len: usize) -> Self {
-        Mask {
-            alive: vec![true; len],
-            kept: len,
+impl ExecScratch {
+    /// A fresh scratch (everything warms up on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_slots(&mut self, n: usize) {
+        if self.sel.len() < n {
+            self.sel.resize_with(n, SelVec::default);
         }
     }
 }
 
-/// Reusable membership scratch, one set per packed key width class. Wide
-/// keys use a per-step set of borrowed slices instead (see [`apply_step`]):
-/// the slices borrow the source's packed key buffer, so they cannot outlive
-/// one step — but they also never allocate per row.
-#[derive(Default)]
-struct Scratch {
-    one: FxHashSet<u64>,
-    two: FxHashSet<u128>,
+#[inline]
+fn hash_wide(key: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
 }
 
 /// Executes a compiled semijoin program in place:
@@ -96,48 +133,58 @@ struct Scratch {
 /// new relation), slots are overwritten — which is exactly the
 /// Bernstein–Chiu reading where each site updates its own state.
 ///
+/// Allocates a fresh [`ExecScratch`] per call; callers that execute
+/// programs repeatedly (the cached full-reducer engine) should hold one
+/// scratch and use [`semijoin_program_with`].
+///
 /// # Panics
 ///
 /// Panics if a step's indices are out of range; debug builds also check
 /// that each step's compiled key matches the slot schemas.
 pub fn semijoin_program(rels: &mut [Relation], steps: &[SemijoinStep]) {
-    let mut masks: Vec<Option<Mask>> = (0..rels.len()).map(|_| None).collect();
-    let mut scratch = Scratch::default();
+    let mut scratch = ExecScratch::new();
+    semijoin_program_with(rels, steps, &mut scratch);
+}
+
+/// [`semijoin_program`] with caller-owned scratch: selection vectors and
+/// membership buffers are reused across calls, making every step
+/// allocation-free after the first run at a given shape.
+pub fn semijoin_program_with(
+    rels: &mut [Relation],
+    steps: &[SemijoinStep],
+    scratch: &mut ExecScratch,
+) {
+    scratch.ensure_slots(rels.len());
+    for (sel, rel) in scratch.sel.iter_mut().zip(rels.iter()) {
+        sel.reset(rel.len());
+    }
     for step in steps {
         debug_assert!(
             step.shared.is_subset(rels[step.target].attrs())
                 && step.shared.is_subset(rels[step.source].attrs()),
             "step compiled for different schemas"
         );
-        apply_step(rels, &mut masks, &mut scratch, step);
+        apply_step(rels, scratch, step);
     }
-    for (rel, mask) in rels.iter_mut().zip(&masks) {
-        if let Some(m) = mask {
-            if m.kept < rel.len() {
-                *rel = rel.filter_by_mask(&m.alive, m.kept);
-            }
+    for (rel, sel) in rels.iter_mut().zip(&scratch.sel) {
+        if sel.len() < rel.len() {
+            *rel = rel.gather_selected(sel);
         }
     }
 }
 
-fn apply_step(
-    rels: &[Relation],
-    masks: &mut [Option<Mask>],
-    scratch: &mut Scratch,
-    step: &SemijoinStep,
-) {
+fn apply_step(rels: &[Relation], scratch: &mut ExecScratch, step: &SemijoinStep) {
     let target = &rels[step.target];
     let source = &rels[step.source];
-    let target_kept = masks[step.target].as_ref().map_or(target.len(), |m| m.kept);
-    if target_kept == 0 {
+    if step.target == step.source {
+        return; // R ⋉ R = R
+    }
+    if scratch.sel[step.target].is_empty() {
         return; // ∅ ⋉ S = ∅
     }
-    let source_kept = masks[step.source].as_ref().map_or(source.len(), |m| m.kept);
-    if source_kept == 0 {
+    if scratch.sel[step.source].is_empty() {
         // R ⋉ ∅ = ∅: kill the whole target.
-        let mask = masks[step.target].get_or_insert_with(|| Mask::full(target.len()));
-        mask.alive.fill(false);
-        mask.kept = 0;
+        scratch.sel[step.target].clear();
         return;
     }
 
@@ -147,67 +194,86 @@ fn apply_step(
     }
     let target_col = target.key_column(&step.shared);
 
-    // Membership set over the source's surviving key values…
-    let source_alive = masks[step.source].as_ref().map(|m| m.alive.as_slice());
-    let alive_at = |alive: Option<&[bool]>, i: usize| alive.map_or(true, |a| a[i]);
-    // Wide keys borrow stride-indexed views of the source's packed key
-    // buffer — no per-tuple allocation for any key width.
-    let mut wide: FxHashSet<&[u64]> = FxHashSet::default();
-    match &*source_col {
-        KeyColumn::Empty => unreachable!("handled above"),
-        KeyColumn::One(vals) => {
-            scratch.one.clear();
-            for (i, &v) in vals.iter().enumerate() {
-                if alive_at(source_alive, i) {
-                    scratch.one.insert(v);
-                }
-            }
-        }
-        KeyColumn::Two(vals) => {
-            scratch.two.clear();
-            for (i, &v) in vals.iter().enumerate() {
-                if alive_at(source_alive, i) {
-                    scratch.two.insert(v);
-                }
-            }
-        }
-        KeyColumn::Wide { width, keys } => {
-            for (i, k) in keys.chunks_exact(*width).enumerate() {
-                if alive_at(source_alive, i) {
-                    wide.insert(k);
-                }
-            }
-        }
-    }
+    // Split borrows: the target's SelVec is mutated by the probe while the
+    // source's is only read during the build.
+    let (sel_lo, sel_hi) = scratch.sel.split_at_mut(step.target.max(step.source));
+    let (tsel, ssel): (&mut SelVec, &SelVec) = if step.target > step.source {
+        (&mut sel_hi[0], &sel_lo[step.source])
+    } else {
+        (&mut sel_lo[step.target], &sel_hi[0])
+    };
 
-    // …then drop the target tuples whose key misses it.
-    let mask = masks[step.target].get_or_insert_with(|| Mask::full(target.len()));
-    match &*target_col {
-        KeyColumn::Empty => unreachable!("key widths match across a step"),
-        KeyColumn::One(vals) => {
-            for (alive, v) in mask.alive.iter_mut().zip(vals) {
-                if *alive && !scratch.one.contains(v) {
-                    *alive = false;
-                    mask.kept -= 1;
-                }
+    // Build membership over the *selected* source keys, then probe the
+    // target's key column through the chunked retain kernels.
+    match (&*source_col, &*target_col) {
+        (
+            KeyColumn::One {
+                vals: svals,
+                min,
+                max,
+            },
+            KeyColumn::One { vals: tvals, .. },
+        ) => {
+            // The column's precomputed range bounds the *selected* keys, so
+            // a small span gets the direct-map table (one store per insert,
+            // one load per probe) with no range rescan.
+            if scratch.stamp.begin(*min, *max) {
+                let stamp = &mut scratch.stamp;
+                ssel.for_each(|i| stamp.insert(svals[i]));
+                let stamp = &scratch.stamp;
+                tsel.retain_u64(tvals, |k| stamp.contains(k));
+            } else {
+                scratch.one.clear();
+                let set = &mut scratch.one;
+                ssel.for_each(|i| {
+                    set.insert(svals[i]);
+                });
+                let set = &scratch.one;
+                tsel.retain_u64(tvals, |k| set.contains(&k));
             }
         }
-        KeyColumn::Two(vals) => {
-            for (alive, v) in mask.alive.iter_mut().zip(vals) {
-                if *alive && !scratch.two.contains(v) {
-                    *alive = false;
-                    mask.kept -= 1;
-                }
-            }
+        (KeyColumn::Two(svals), KeyColumn::Two(tvals)) => {
+            scratch.two.clear();
+            let set = &mut scratch.two;
+            ssel.for_each(|i| {
+                set.insert(svals[i]);
+            });
+            let set = &scratch.two;
+            tsel.retain_u128(tvals, |k| set.contains(&k));
         }
-        KeyColumn::Wide { width, keys } => {
-            for (alive, k) in mask.alive.iter_mut().zip(keys.chunks_exact(*width)) {
-                if *alive && !wide.contains(k) {
-                    *alive = false;
-                    mask.kept -= 1;
+        (
+            KeyColumn::Wide { width, keys: skeys },
+            KeyColumn::Wide {
+                width: twidth,
+                keys: tkeys,
+            },
+        ) => {
+            debug_assert_eq!(width, twidth, "key widths match across a step");
+            let w = *width;
+            scratch.wide.clear();
+            let spine = &mut scratch.wide;
+            ssel.for_each(|i| spine.push((hash_wide(&skeys[i * w..(i + 1) * w]), i as u32)));
+            spine.sort_unstable_by_key(|&(h, _)| h);
+            let spine = &scratch.wide;
+            tsel.retain_wide(tkeys, w, |key| {
+                let h = hash_wide(key);
+                let mut at = spine.partition_point(|&(sh, _)| sh < h);
+                // Collisions re-compare the actual key slices (chunked
+                // memcmp under slice ==), so a hash match never lies.
+                while let Some(&(sh, si)) = spine.get(at) {
+                    if sh != h {
+                        break;
+                    }
+                    let si = si as usize;
+                    if &skeys[si * w..(si + 1) * w] == key {
+                        return true;
+                    }
+                    at += 1;
                 }
-            }
+                false
+            });
         }
+        _ => unreachable!("key widths match across a step"),
     }
 }
 
@@ -321,5 +387,60 @@ mod tests {
         ];
         semijoin_program(&mut rels, &[SemijoinStep::new(&schemas, 0, 1)]);
         assert!(rels[0].is_empty());
+    }
+
+    #[test]
+    fn large_key_range_uses_the_hash_fallback() {
+        // Keys straddling the whole u64 range exceed StampTable::MAX_RANGE,
+        // forcing the hash-set membership path; semantics must not move.
+        let schemas = vec![attrs(&[0, 1]), attrs(&[1, 2])];
+        let huge = u64::MAX - 3;
+        let mut rels = vec![
+            Relation::new(
+                schemas[0].clone(),
+                vec![vec![1, 0], vec![2, huge], vec![3, 500]],
+            ),
+            Relation::new(schemas[1].clone(), vec![vec![huge, 9], vec![0, 9]]),
+        ];
+        let expected = rels[0].semijoin(&rels[1]);
+        semijoin_program(&mut rels, &[SemijoinStep::new(&schemas, 0, 1)]);
+        assert_eq!(rels[0], expected);
+        assert_eq!(rels[0].len(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_across_programs_is_sound() {
+        // Run two different programs through one scratch: stale selections
+        // or stale membership from run 1 must not leak into run 2.
+        let mut scratch = ExecScratch::new();
+        let schemas = vec![attrs(&[0, 1]), attrs(&[1, 2]), attrs(&[2, 3])];
+        let mk = |tuples: Vec<Vec<u64>>, k: usize| Relation::new(schemas[k].clone(), tuples);
+        let mut rels = vec![
+            mk(vec![vec![1, 10], vec![2, 20], vec![3, 30]], 0),
+            mk(vec![vec![10, 100], vec![20, 200]], 1),
+            mk(vec![vec![100, 7]], 2),
+        ];
+        let steps = vec![
+            SemijoinStep::new(&schemas, 1, 2),
+            SemijoinStep::new(&schemas, 0, 1),
+        ];
+        let mut expected = rels.clone();
+        expected[1] = expected[1].semijoin(&expected[2]);
+        expected[0] = expected[0].semijoin(&expected[1]);
+        semijoin_program_with(&mut rels, &steps, &mut scratch);
+        assert_eq!(rels, expected);
+
+        // Second program: different shape, previously-dead slots revive.
+        let mut rels2 = vec![
+            mk(vec![vec![7, 70], vec![8, 80]], 0),
+            mk(vec![vec![70, 1], vec![80, 1], vec![90, 1]], 1),
+            mk(vec![vec![1, 1]], 2),
+        ];
+        let mut expected2 = rels2.clone();
+        expected2[1] = expected2[1].semijoin(&expected2[0]);
+        let steps2 = vec![SemijoinStep::new(&schemas, 1, 0)];
+        semijoin_program_with(&mut rels2, &steps2, &mut scratch);
+        assert_eq!(rels2, expected2);
+        assert_eq!(rels2[1].len(), 2);
     }
 }

@@ -1,0 +1,748 @@
+//! Columnar kernels over the flat row-major buffer.
+//!
+//! PR 3 made [`Relation`](crate::Relation) flat row-major precisely so that
+//! column-at-a-time execution becomes possible; this module is that layer.
+//! Everything here operates on raw `&[u64]` buffers (stride = arity) and
+//! never allocates per row:
+//!
+//! * [`ColumnarView`] — a column-oriented window over a flat buffer, with
+//!   the **gather projection** kernel ([`ColumnarView::gather_into`]): the
+//!   column-index map is computed once and values are copied in
+//!   column-strided blocks (or, when the projected columns form one
+//!   contiguous window, as per-row `memcpy`s) instead of a per-row scatter
+//!   loop.
+//! * [`SelVec`] — a reusable **selection vector**: the surviving row
+//!   indices (`u32`, ascending) plus a generation-stamped bitset for O(1)
+//!   membership, resettable in O(1) by bumping the generation. The
+//!   [`SelVec::retain_u64`]/[`SelVec::retain_u128`]/[`SelVec::retain_wide`]
+//!   kernels drive semijoin probes: keys are tested in fixed-size chunks of
+//!   [`CHUNK`] lanes with **branchless mask accumulation** (one `u64`
+//!   survivor mask per chunk, compacted by iterating its set bits), which
+//!   keeps the inner loop free of per-row branches and friendly to the
+//!   autovectorizer — no nightly `std::simd` involved.
+//! * [`StampTable`] — generation-stamped direct-map membership for packed
+//!   `u64` keys from a small value range: insert is one store, the probe is
+//!   one load + compare (the fastest possible key comparison). The batched
+//!   executor uses it whenever the alive key range fits
+//!   [`StampTable::MAX_RANGE`] and falls back to hashing otherwise.
+//! * [`gather_rows`] — materializes the rows a [`SelVec`] selected into a
+//!   fresh flat buffer (selection preserves row order, so the output is
+//!   already normalized).
+//! * [`sort_dedup_packed`] — normalization support: rows of arity ≥ 3 whose
+//!   values fit `arity · bits ≤ 128` are packed into `u64`/`u128` scalars,
+//!   sorted as scalars, deduplicated, and unpacked — columnar pack/unpack
+//!   loops plus a scalar sort instead of an index-permutation sort with
+//!   per-comparison slice walks. Falls back (returns the buffer unchanged)
+//!   for genuinely wide values, where the permutation sort remains the
+//!   row-at-a-time fallback.
+//!
+//! The kernels are semantically invisible: every one of them agrees with a
+//! naive per-row reference implementation (see `tests/prop.rs`), and the
+//! engine differential suite holds the rewired operators to the same
+//! answers as the definitional engine.
+
+/// Number of lanes per probe chunk: one `u64` survivor mask's worth.
+pub const CHUNK: usize = 64;
+
+/// Value budget per block in column-at-a-time gather loops: each per-column
+/// pass re-sweeps the block, so the block must stay cache-resident. The
+/// row count per block is derived from this budget and the row width
+/// ([`gather_block_rows`]) — a fixed row count would balloon to megabytes
+/// on wide rows (the naive engine's accumulator reaches arity > 100) and
+/// pay the whole block out of L2/L3 once per column.
+const GATHER_BLOCK_VALUES: usize = 4096;
+
+/// Rows per gather block for rows of `width` values: the [`GATHER_BLOCK_VALUES`]
+/// budget divided by the width, floored at 16 rows (narrow rows cap at the
+/// budget itself).
+#[inline]
+fn gather_block_rows(width: usize) -> usize {
+    (GATHER_BLOCK_VALUES / width.max(1)).max(16)
+}
+
+/// A column-oriented view over a flat row-major buffer (`len` rows of
+/// `arity` values each; row `i` at `data[i·arity..(i+1)·arity]`).
+///
+/// The view borrows the buffer; it is how kernels and operators talk about
+/// "the columns of this relation" without committing to a second storage
+/// format — the flat row-major buffer *is* the storage, the view only
+/// changes the iteration order.
+#[derive(Clone, Copy, Debug)]
+pub struct ColumnarView<'a> {
+    data: &'a [u64],
+    arity: usize,
+    len: usize,
+}
+
+impl<'a> ColumnarView<'a> {
+    /// Wraps a flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != len * arity`.
+    pub fn new(data: &'a [u64], arity: usize, len: usize) -> Self {
+        assert_eq!(data.len(), len * arity, "buffer/shape mismatch");
+        Self { data, arity, len }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stride (tuple width).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Iterates column `p` top to bottom (one value per row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= arity` (on first `next()` via slice indexing).
+    #[inline]
+    pub fn col(&self, p: usize) -> impl ExactSizeIterator<Item = u64> + 'a {
+        let arity = self.arity;
+        self.data.chunks_exact(arity).map(move |row| row[p])
+    }
+
+    /// **Gather projection**: appends, row-major, the columns `pos` of every
+    /// row to `out`. `pos` is the precomputed column-index map (projection
+    /// target positions in this view's column order); it may repeat or
+    /// reorder columns.
+    ///
+    /// Strategy: if `pos` is one contiguous ascending window the kernel
+    /// degenerates to a per-row `copy_from_slice` (a straight memcpy of the
+    /// window); otherwise it gathers **column-at-a-time** over cache-sized
+    /// row blocks — for each output column one tight constant-stride loop,
+    /// with the block bounding the working set.
+    pub fn gather_into(&self, pos: &[usize], out: &mut Vec<u64>) {
+        let w = pos.len();
+        if w == 0 || self.len == 0 {
+            return;
+        }
+        let arity = self.arity;
+        // Contiguous-window fast path: pos = [p, p+1, …, p+w-1]. One
+        // pre-size, then per-row fixed-length copies with no capacity
+        // checks in the loop.
+        if pos.windows(2).all(|ab| ab[1] == ab[0] + 1) {
+            let p = pos[0];
+            if w == arity {
+                out.extend_from_slice(self.data);
+                return;
+            }
+            let start = out.len();
+            out.resize(start + self.len * w, 0);
+            for (d, s) in out[start..]
+                .chunks_exact_mut(w)
+                .zip(self.data.chunks_exact(arity))
+            {
+                d.copy_from_slice(&s[p..p + w]);
+            }
+            return;
+        }
+        // Column-at-a-time gather, blocked.
+        let start = out.len();
+        out.resize(start + self.len * w, 0);
+        let dst_all = &mut out[start..];
+        let block = gather_block_rows(arity.max(w));
+        let mut row0 = 0usize;
+        while row0 < self.len {
+            let rows = block.min(self.len - row0);
+            let src = &self.data[row0 * arity..(row0 + rows) * arity];
+            let dst = &mut dst_all[row0 * w..(row0 + rows) * w];
+            for (j, &p) in pos.iter().enumerate() {
+                // One constant-stride pass per output column; chunks_exact
+                // lets the compiler drop the per-element bounds checks.
+                for (d, s) in dst.chunks_exact_mut(w).zip(src.chunks_exact(arity)) {
+                    d[j] = s[p];
+                }
+            }
+            row0 += rows;
+        }
+    }
+}
+
+/// A reusable selection vector: which rows of a relation survive, stored as
+/// ascending `u32` indices plus a generation-stamped bitset for O(1)
+/// membership tests ([`SelVec::is_selected`]).
+///
+/// A fresh/reset `SelVec` is **dense** — every row `0..len` is selected and
+/// no index storage is touched. The `retain_*` kernels switch it to sparse
+/// on the first filtering step. Resetting costs O(1) (bump the generation,
+/// mark dense); the backing buffers are reused across program runs, which is
+/// what makes whole-program execution allocation-free after warm-up.
+#[derive(Debug, Default)]
+pub struct SelVec {
+    /// Selected row indices, ascending; valid in `idx[..n]` when sparse.
+    idx: Vec<u32>,
+    /// Selected count (dense: the row count itself).
+    n: usize,
+    /// Dense ⇒ selection is exactly `0..n`.
+    dense: bool,
+    /// Generation-stamped bitset: row `i` is selected iff dense and `i < n`,
+    /// or `stamp[i] == gen`.
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl SelVec {
+    /// A fresh selection over `len` rows (dense: everything selected).
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::default();
+        s.reset(len);
+        s
+    }
+
+    /// Re-aims the selection at a relation of `len` rows, selecting all of
+    /// them. O(1): no buffer is cleared, the generation stamp invalidates
+    /// the previous contents.
+    pub fn reset(&mut self, len: usize) {
+        assert!(len <= u32::MAX as usize, "row count exceeds u32 indices");
+        self.n = len;
+        self.dense = true;
+        // Generation bump; on wrap, genuinely clear the stamps once.
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    /// Number of selected rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether nothing is selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether no filtering step has dropped a row yet.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// O(1) membership: is row `i` selected?
+    #[inline]
+    pub fn is_selected(&self, i: usize) -> bool {
+        if self.dense {
+            i < self.n
+        } else {
+            self.stamp.get(i).is_some_and(|&s| s == self.gen)
+        }
+    }
+
+    /// Calls `f` with each selected row index, ascending.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(usize)) {
+        if self.dense {
+            (0..self.n).for_each(&mut f);
+        } else {
+            self.idx[..self.n].iter().for_each(|&i| f(i as usize));
+        }
+    }
+
+    /// Drops every row from the selection (including from
+    /// [`SelVec::is_selected`]'s view — the stamp generation advances so
+    /// previously retained rows stop reporting as members).
+    pub fn clear(&mut self) {
+        self.n = 0;
+        self.dense = false;
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    /// Semijoin probe kernel over packed `u64` key columns: keeps exactly
+    /// the selected rows whose key passes `test`. `keys[i]` is row `i`'s
+    /// key. Keys are tested in chunks of [`CHUNK`] lanes with branchless
+    /// mask accumulation; surviving indices are compacted by iterating the
+    /// chunk mask's set bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some selected index is out of `keys`' range.
+    pub fn retain_u64(&mut self, keys: &[u64], mut test: impl FnMut(u64) -> bool) {
+        self.retain_by_index(|i| test(keys[i]));
+    }
+
+    /// [`SelVec::retain_u64`] for packed `u128` (width-2) key columns.
+    pub fn retain_u128(&mut self, keys: &[u128], mut test: impl FnMut(u128) -> bool) {
+        self.retain_by_index(|i| test(keys[i]));
+    }
+
+    /// [`SelVec::retain_u64`] for wide keys packed row-major into one side
+    /// buffer (`keys[i·width..(i+1)·width]` is row `i`'s key). The `test`
+    /// closure compares whole key slices (a chunked memcmp under `==`).
+    pub fn retain_wide(
+        &mut self,
+        keys: &[u64],
+        width: usize,
+        mut test: impl FnMut(&[u64]) -> bool,
+    ) {
+        assert!(width > 0, "wide keys have width >= 3");
+        self.retain_by_index(|i| test(&keys[i * width..(i + 1) * width]));
+    }
+
+    /// The shared chunked retain loop: `keep(i)` decides row `i`'s fate.
+    fn retain_by_index(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        let total = self.n;
+        if self.dense {
+            // Grow-only warm-up: after the first filter at this row count
+            // the buffers are reused as-is. (Sparse selections never hold
+            // indices beyond the dense length they started from.)
+            self.ensure_capacity(total);
+        }
+        let gen = self.gen;
+        let mut out = 0usize;
+        if self.dense {
+            // Dense source: lanes are the row indices themselves.
+            let mut base = 0usize;
+            while base < total {
+                let lanes = CHUNK.min(total - base);
+                let mut mask: u64 = 0;
+                for lane in 0..lanes {
+                    mask |= (keep(base + lane) as u64) << lane;
+                }
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let row = (base + lane) as u32;
+                    self.idx[out] = row;
+                    self.stamp[row as usize] = gen;
+                    out += 1;
+                }
+                base += lanes;
+            }
+        } else {
+            // Sparse source: compact idx[..n] in place (out <= scan cursor,
+            // so the write never overtakes the reads).
+            let mut base = 0usize;
+            while base < total {
+                let lanes = CHUNK.min(total - base);
+                let mut mask: u64 = 0;
+                for lane in 0..lanes {
+                    mask |= (keep(self.idx[base + lane] as usize) as u64) << lane;
+                }
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    self.idx[out] = self.idx[base + lane];
+                    out += 1;
+                }
+                base += lanes;
+            }
+        }
+        if self.dense {
+            // The stamps were written for survivors only; rows the dense
+            // state implied but the stamp misses are now correctly absent.
+            self.dense = false;
+        } else {
+            // Survivors keep their old stamps (same generation) — but rows
+            // just dropped still carry it. Re-stamp under a fresh
+            // generation so membership stays exact.
+            self.gen = self.gen.wrapping_add(1);
+            if self.gen == 0 {
+                self.stamp.fill(0);
+                self.gen = 1;
+            }
+            let gen = self.gen;
+            for &i in &self.idx[..out] {
+                self.stamp[i as usize] = gen;
+            }
+        }
+        self.n = out;
+    }
+
+    /// Ensures the stamp bitset covers rows `0..len` (grow-only; called
+    /// automatically before the first sparse filter against a relation of
+    /// `len` rows).
+    fn ensure_capacity(&mut self, len: usize) {
+        if self.stamp.len() < len {
+            self.stamp.resize(len, 0);
+        }
+        if self.idx.len() < len {
+            self.idx.resize(len, 0);
+        }
+    }
+}
+
+/// Generation-stamped direct-map membership over packed `u64` keys from a
+/// bounded value range: `contains` is one load + compare — the cheapest key
+/// comparison there is, and branch-free inside the probe kernels.
+///
+/// [`StampTable::begin`] re-arms the table for a new key set in O(1) (bump
+/// the generation); the slot buffer grows to the largest range ever seen
+/// and is then reused forever — no allocation after warm-up.
+#[derive(Debug, Default)]
+pub struct StampTable {
+    base: u64,
+    stamps: Vec<u32>,
+    gen: u32,
+}
+
+impl StampTable {
+    /// Largest key range (max − min + 1) the table direct-maps; beyond it
+    /// callers fall back to hashing. 2²² slots = 16 MiB of `u32` stamps at
+    /// the very worst — normally far less, since the buffer only ever grows
+    /// to the largest range actually seen.
+    pub const MAX_RANGE: u64 = 1 << 22;
+
+    /// Re-arms the table for keys in `[min, max]`. Returns `false` (table
+    /// unusable for this key set) when the range exceeds
+    /// [`StampTable::MAX_RANGE`].
+    pub fn begin(&mut self, min: u64, max: u64) -> bool {
+        debug_assert!(min <= max);
+        // Compare spans before adding 1: `max - min + 1` overflows when the
+        // keys straddle the whole u64 range (e.g. 0 and u64::MAX mixed).
+        if max - min >= Self::MAX_RANGE {
+            return false;
+        }
+        let range = max - min + 1;
+        self.base = min;
+        if (self.stamps.len() as u64) < range {
+            self.stamps.resize(range as usize, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamps.fill(0);
+            self.gen = 1;
+        }
+        true
+    }
+
+    /// Marks `k` present (must lie inside the `begin` range).
+    #[inline]
+    pub fn insert(&mut self, k: u64) {
+        self.stamps[(k - self.base) as usize] = self.gen;
+    }
+
+    /// Whether `k` was inserted since the last `begin`. Keys outside the
+    /// armed range are simply absent.
+    #[inline]
+    pub fn contains(&self, k: u64) -> bool {
+        self.stamps
+            .get(k.wrapping_sub(self.base) as usize)
+            .is_some_and(|&s| s == self.gen)
+    }
+}
+
+/// Compresses a `(out_col, src_pos)` column map into maximal runs where
+/// both sides advance by 1 — each run is one contiguous `memcpy`.
+fn column_runs(cols: &[(usize, usize)]) -> Vec<(usize, usize, usize)> {
+    let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+    for &(j, p) in cols {
+        match runs.last_mut() {
+            Some((j0, p0, len)) if j == *j0 + *len && p == *p0 + *len => *len += 1,
+            _ => runs.push((j, p, 1)),
+        }
+    }
+    runs
+}
+
+/// Join-output assembly: materializes one output row per `(probe, build)`
+/// row pair. Each `(out_col, src_pos)` entry of `probe_cols`/`build_cols`
+/// names one output column and where it reads from on that side.
+///
+/// Two gather strategies, chosen by shape:
+///
+/// * **Run copies** when the column maps compress into few contiguous runs
+///   (the common join layout — each side contributes long aligned spans):
+///   one pass over the pairs, a `copy_from_slice` per run per row.
+/// * **Column-at-a-time within blocks** otherwise: per output column one
+///   tight gather loop, with cache-sized row blocks so the per-column
+///   passes never re-sweep a block out of cache on huge join results.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_pairs(
+    probe_data: &[u64],
+    probe_arity: usize,
+    build_data: &[u64],
+    build_arity: usize,
+    probe_cols: &[(usize, usize)],
+    build_cols: &[(usize, usize)],
+    pairs: &[(u32, u32)],
+    out_arity: usize,
+    out: &mut Vec<u64>,
+) {
+    debug_assert_eq!(probe_cols.len() + build_cols.len(), out_arity);
+    if out_arity == 0 {
+        return;
+    }
+    let start = out.len();
+    out.resize(start + pairs.len() * out_arity, 0);
+    let dst_all = &mut out[start..];
+
+    let probe_runs = column_runs(probe_cols);
+    let build_runs = column_runs(build_cols);
+    if (probe_runs.len() + build_runs.len()) * 4 <= out_arity {
+        // Long contiguous spans: copy runs row-at-a-time.
+        for (row, &(pi, bi)) in dst_all.chunks_exact_mut(out_arity).zip(pairs) {
+            let prow = &probe_data[pi as usize * probe_arity..][..probe_arity];
+            let brow = &build_data[bi as usize * build_arity..][..build_arity];
+            for &(j, p, len) in &probe_runs {
+                row[j..j + len].copy_from_slice(&prow[p..p + len]);
+            }
+            for &(j, p, len) in &build_runs {
+                row[j..j + len].copy_from_slice(&brow[p..p + len]);
+            }
+        }
+        return;
+    }
+
+    let block = gather_block_rows(out_arity);
+    let mut p0 = 0usize;
+    while p0 < pairs.len() {
+        let n = block.min(pairs.len() - p0);
+        let block_pairs = &pairs[p0..p0 + n];
+        let dst = &mut dst_all[p0 * out_arity..(p0 + n) * out_arity];
+        for &(j, p) in probe_cols {
+            for (row, &(pi, _)) in dst.chunks_exact_mut(out_arity).zip(block_pairs) {
+                row[j] = probe_data[pi as usize * probe_arity + p];
+            }
+        }
+        for &(j, p) in build_cols {
+            for (row, &(_, bi)) in dst.chunks_exact_mut(out_arity).zip(block_pairs) {
+                row[j] = build_data[bi as usize * build_arity + p];
+            }
+        }
+        p0 += n;
+    }
+}
+
+/// Materializes the selected rows into `out` (row-major, same stride).
+/// Selection order is ascending, so if `data` was normalized the gathered
+/// buffer is normalized too.
+pub fn gather_rows(data: &[u64], arity: usize, sel: &SelVec, out: &mut Vec<u64>) {
+    if arity == 0 {
+        return;
+    }
+    if sel.is_dense() {
+        out.extend_from_slice(&data[..sel.len() * arity]);
+        return;
+    }
+    out.reserve(sel.len() * arity);
+    sel.for_each(|i| out.extend_from_slice(&data[i * arity..(i + 1) * arity]));
+}
+
+/// Packs rows into scalar keys and sorts/dedups them, when the values fit:
+/// with `bits` = bit width of the largest value, rows pack into `u64`
+/// scalars when `arity · bits ≤ 64` and into `u128` when `≤ 128` (each
+/// column a fixed `bits`-wide field, first column highest — scalar order =
+/// lexicographic row order). Returns the surviving row count and the
+/// rebuilt buffer, or gives the buffer back unchanged (`Err`) when the
+/// values are too wide to pack — the caller's index-permutation sort is the
+/// row-at-a-time fallback for that case.
+///
+/// Pack, sort, dedup, and unpack are all columnar tight loops; the sort
+/// compares machine scalars instead of walking row slices.
+pub fn sort_dedup_packed(
+    arity: usize,
+    rows: usize,
+    mut data: Vec<u64>,
+) -> Result<(usize, Vec<u64>), Vec<u64>> {
+    debug_assert!(arity >= 2, "arity <= 2 rows already sort as scalars");
+    debug_assert_eq!(data.len(), rows * arity);
+    let _ = rows;
+    let max = data.iter().copied().max().unwrap_or(0);
+    let bits = 64 - max.leading_zeros().min(63) as usize; // 1..=64; arity >= 2 keeps every shift below the scalar width
+
+    // One pack/sort/dedup/unpack implementation, instantiated per scalar
+    // width so the two width classes cannot drift apart.
+    macro_rules! pack_sort_unpack {
+        ($scalar:ty) => {{
+            let shift = bits;
+            let mut packed: Vec<$scalar> = data
+                .chunks_exact(arity)
+                .map(|row| {
+                    row.iter()
+                        .fold(0 as $scalar, |acc, &v| (acc << shift) | v as $scalar)
+                })
+                .collect();
+            packed.sort_unstable();
+            packed.dedup();
+            let kept = packed.len();
+            data.clear();
+            let mask = ((1 as $scalar) << shift) - 1;
+            for &p in &packed {
+                let start = data.len();
+                data.resize(start + arity, 0);
+                let mut p = p;
+                for j in (0..arity).rev() {
+                    data[start + j] = (p & mask) as u64;
+                    p >>= shift;
+                }
+            }
+            Ok((kept, data))
+        }};
+    }
+
+    if arity * bits <= 64 {
+        pack_sort_unpack!(u64)
+    } else if arity * bits <= 128 {
+        pack_sort_unpack!(u128)
+    } else {
+        Err(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_contiguous_and_scattered() {
+        // 3 rows of arity 4
+        let data: Vec<u64> = vec![0, 1, 2, 3, 10, 11, 12, 13, 20, 21, 22, 23];
+        let v = ColumnarView::new(&data, 4, 3);
+        let mut out = Vec::new();
+        v.gather_into(&[1, 2], &mut out); // contiguous window
+        assert_eq!(out, vec![1, 2, 11, 12, 21, 22]);
+        out.clear();
+        v.gather_into(&[3, 0], &mut out); // scattered + reordered
+        assert_eq!(out, vec![3, 0, 13, 10, 23, 20]);
+        out.clear();
+        v.gather_into(&[0, 1, 2, 3], &mut out); // identity
+        assert_eq!(out, data);
+        assert_eq!(v.col(2).collect::<Vec<_>>(), vec![2, 12, 22]);
+    }
+
+    #[test]
+    fn gather_blocked_matches_per_row() {
+        // More rows than one gather block, scattered columns.
+        let rows = 2 * GATHER_BLOCK_VALUES + 17;
+        let arity = 5;
+        let data: Vec<u64> = (0..rows * arity).map(|i| (i * 7 % 1000) as u64).collect();
+        let v = ColumnarView::new(&data, arity, rows);
+        let pos = [4usize, 0, 2];
+        let mut out = Vec::new();
+        v.gather_into(&pos, &mut out);
+        let expect: Vec<u64> = data
+            .chunks_exact(arity)
+            .flat_map(|row| pos.iter().map(|&p| row[p]))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn selvec_dense_then_sparse_retain() {
+        let keys: Vec<u64> = (0..200).map(|i| i % 10).collect();
+        let mut sel = SelVec::full(200);
+        assert!(sel.is_dense());
+        sel.retain_u64(&keys, |k| k < 5);
+        assert_eq!(sel.len(), 100);
+        assert!(!sel.is_dense());
+        assert!(sel.is_selected(0) && sel.is_selected(4) && !sel.is_selected(5));
+        // Second (sparse) retain narrows further; stamps stay exact.
+        sel.retain_u64(&keys, |k| k == 3);
+        assert_eq!(sel.len(), 20);
+        assert!(sel.is_selected(3) && sel.is_selected(13));
+        assert!(!sel.is_selected(0), "dropped rows lose their stamp");
+        let mut got = Vec::new();
+        sel.for_each(|i| got.push(i));
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "ascending");
+        assert!(got.iter().all(|&i| keys[i] == 3));
+    }
+
+    #[test]
+    fn selvec_reset_reuses_buffers() {
+        let keys: Vec<u64> = (0..100).collect();
+        let mut sel = SelVec::full(100);
+        sel.retain_u64(&keys, |k| k % 2 == 0);
+        assert_eq!(sel.len(), 50);
+        assert!(sel.is_selected(0));
+        sel.clear();
+        assert!(
+            !sel.is_selected(0),
+            "clear invalidates freshly written stamps"
+        );
+        sel.reset(80);
+        assert!(sel.is_dense());
+        assert_eq!(sel.len(), 80);
+        assert!(sel.is_selected(79) && !sel.is_selected(80));
+        sel.clear();
+        assert!(sel.is_empty());
+        assert!(!sel.is_selected(0));
+    }
+
+    #[test]
+    fn selvec_chunk_boundaries() {
+        // Lengths straddling the 64-lane chunk boundary.
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            let keys: Vec<u64> = (0..len as u64).collect();
+            let mut sel = SelVec::full(len);
+            sel.retain_u64(&keys, |k| k % 3 != 0);
+            let expect: Vec<usize> = (0..len).filter(|i| i % 3 != 0).collect();
+            let mut got = Vec::new();
+            sel.for_each(|i| got.push(i));
+            assert_eq!(got, expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn stamp_table_membership_and_rearm() {
+        let mut t = StampTable::default();
+        assert!(t.begin(100, 200));
+        t.insert(100);
+        t.insert(150);
+        assert!(t.contains(100) && t.contains(150));
+        assert!(!t.contains(101) && !t.contains(99) && !t.contains(201));
+        assert!(!t.contains(0) && !t.contains(u64::MAX));
+        // Re-arm invalidates everything in O(1).
+        assert!(t.begin(100, 120));
+        assert!(!t.contains(100));
+        // Oversized ranges are declined.
+        assert!(!t.begin(0, StampTable::MAX_RANGE + 5));
+    }
+
+    #[test]
+    fn gather_rows_dense_and_sparse() {
+        let data: Vec<u64> = vec![1, 2, 3, 4, 5, 6];
+        let mut sel = SelVec::full(3);
+        let mut out = Vec::new();
+        gather_rows(&data, 2, &sel, &mut out);
+        assert_eq!(out, data);
+        sel.retain_u64(&[9, 7, 9], |k| k == 9);
+        out.clear();
+        gather_rows(&data, 2, &sel, &mut out);
+        assert_eq!(out, vec![1, 2, 5, 6]);
+    }
+
+    #[test]
+    fn packed_sort_matches_permutation_semantics() {
+        // arity 3, small values: packs into u64.
+        let data = vec![2, 1, 1, 0, 5, 5, 2, 1, 1, 0, 5, 5, 1, 0, 0];
+        let (kept, out) = sort_dedup_packed(3, 5, data).expect("fits u64");
+        assert_eq!(kept, 3);
+        assert_eq!(out, vec![0, 5, 5, 1, 0, 0, 2, 1, 1]);
+        // Values forcing the u128 path (bits ~ 40, arity 3).
+        let big = 1u64 << 39;
+        let data = vec![big, 0, 1, 0, big, 2, 0, big, 2];
+        let (kept, out) = sort_dedup_packed(3, 3, data).expect("fits u128");
+        assert_eq!(kept, 2);
+        assert_eq!(out, vec![0, big, 2, big, 0, 1]);
+        // Genuinely too wide: handed back unchanged.
+        let data = vec![u64::MAX, 1, 2, 0, 1, 2];
+        assert!(sort_dedup_packed(3, 2, data.clone()).is_err());
+    }
+
+    #[test]
+    fn packed_sort_zero_values() {
+        let (kept, out) = sort_dedup_packed(4, 3, vec![0u64; 12]).expect("all zero");
+        assert_eq!((kept, out), (1, vec![0, 0, 0, 0]));
+    }
+}

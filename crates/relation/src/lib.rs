@@ -15,8 +15,11 @@
 //!   `m_D` (the chase for join dependencies), and join-dependency
 //!   satisfaction `I ⊨ ⋈D`;
 //! * [`exec`] — precompiled semijoin steps ([`SemijoinStep`]) and the
-//!   batched [`semijoin_program`] executor used by the cached full-reducer
-//!   engine.
+//!   selection-vector [`semijoin_program`] executor used by the cached
+//!   full-reducer engine;
+//! * [`kernels`] — the columnar kernel layer: gather projection, chunked
+//!   branchless key-probe kernels over [`SelVec`] selection vectors, the
+//!   generation-stamped [`kernels::StampTable`], and packed row sorting.
 //!
 //! # Flat row-major storage
 //!
@@ -38,6 +41,28 @@
 //! forms are acceptable only in tests, doc examples, and one-off input
 //! conversion — never inside operators, engines, or generators.
 //!
+//! # Columnar kernels and the SelVec execution model
+//!
+//! On top of the flat layout sits the [`kernels`] layer: projection moves
+//! values in column-strided blocks ([`kernels::ColumnarView::gather_into`]),
+//! join outputs are assembled column-at-a-time over a matched-pair list,
+//! and semijoin filtering — both the one-shot operator and whole compiled
+//! programs — runs through reusable [`SelVec`] **selection vectors**
+//! (`u32` survivor indices plus a generation-stamped bitset) probed in
+//! fixed-size chunks with branchless mask accumulation. The
+//! [`semijoin_program`] executor threads one `SelVec` per relation slot
+//! through an entire full-reducer program: no intermediate relation is
+//! materialized and, with a caller-owned [`exec::ExecScratch`]
+//! ([`exec::semijoin_program_with`]), no step allocates after warm-up.
+//!
+//! Row-at-a-time execution remains in exactly the places where a column
+//! decomposition has nothing to offer: hash-*building* (`KeyIndex`
+//! construction walks rows once), the probe half of `natural_join`
+//! (match fan-out is data-dependent), normalization of rows whose values
+//! are too wide to pack into `u64`/`u128` scalars
+//! ([`kernels::sort_dedup_packed`] falls back to an index-permutation
+//! sort), and the `Vec<Vec<u64>>` boundary shims.
+//!
 //! The hot paths are cache-assisted: every [`Relation`] lazily memoizes, per
 //! key attribute set, its column positions and its hash-join build table, so
 //! repeated joins and semijoins against the same relation (or clones of it)
@@ -50,10 +75,12 @@
 
 pub mod database;
 pub mod exec;
+pub mod kernels;
 pub mod relation;
 pub mod universal;
 
 pub use database::DbState;
-pub use exec::{semijoin_program, SemijoinStep};
+pub use exec::{semijoin_program, semijoin_program_with, ExecScratch, SemijoinStep};
+pub use kernels::{ColumnarView, SelVec};
 pub use relation::Relation;
 pub use universal::{join_of_projections, satisfies_jd};

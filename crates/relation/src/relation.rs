@@ -33,6 +33,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use gyo_schema::{AttrId, AttrSet, Catalog, FxHashMap};
 
+use crate::kernels::{self, ColumnarView, SelVec};
+
 /// Packs a width-2 key into one scalar. The first column lands in the high
 /// half, so `u128` ordering equals lexicographic row ordering — every
 /// width-2 build, probe, and sort site must agree on this encoding.
@@ -97,34 +99,6 @@ impl KeyIndex {
             }
         }
     }
-
-    /// Indices of the build-side tuples matching the probe row's key
-    /// (`pos` are the key positions *in the probe row*). `scratch` is a
-    /// reusable buffer for wide keys.
-    #[inline]
-    fn get<'a>(
-        &'a self,
-        row: &[u64],
-        pos: &[usize],
-        scratch: &mut Vec<u64>,
-    ) -> Option<&'a [usize]> {
-        match self {
-            KeyIndex::Empty(all) => Some(all),
-            KeyIndex::One(map) => map.get(&row[pos[0]]).map(Vec::as_slice),
-            KeyIndex::Two(map) => map.get(&pack2(row[pos[0]], row[pos[1]])).map(Vec::as_slice),
-            KeyIndex::Wide(map) => {
-                scratch.clear();
-                scratch.extend(pos.iter().map(|&p| row[p]));
-                map.get(scratch.as_slice()).map(Vec::as_slice)
-            }
-        }
-    }
-
-    /// Whether any build-side tuple matches the probe row's key.
-    #[inline]
-    fn contains(&self, row: &[u64], pos: &[usize], scratch: &mut Vec<u64>) -> bool {
-        self.get(row, pos, scratch).is_some_and(|m| !m.is_empty())
-    }
 }
 
 /// Lazily built per-relation derivations, keyed by the [`AttrSet`] they were
@@ -157,8 +131,17 @@ struct CacheInner {
 pub(crate) enum KeyColumn {
     /// Width-0 key: every tuple has the empty key.
     Empty,
-    /// Width-1 key: the single key value per tuple.
-    One(Vec<u64>),
+    /// Width-1 key: the single key value per tuple, with the value range
+    /// precomputed (the batched executor arms its stamp table from the
+    /// range without rescanning the column).
+    One {
+        /// The key value per tuple.
+        vals: Vec<u64>,
+        /// Smallest key (0 for an empty relation).
+        min: u64,
+        /// Largest key (0 for an empty relation).
+        max: u64,
+    },
     /// Width-2 key: both values packed into one `u128` per tuple.
     Two(Vec<u128>),
     /// Width ≥ 3: keys packed row-major into one flat buffer
@@ -175,7 +158,12 @@ impl KeyColumn {
     fn extract(rel: &Relation, pos: &[usize]) -> Self {
         match *pos {
             [] => KeyColumn::Empty,
-            [p] => KeyColumn::One(rel.rows().map(|t| t[p]).collect()),
+            [p] => {
+                let vals: Vec<u64> = rel.rows().map(|t| t[p]).collect();
+                let min = vals.iter().copied().min().unwrap_or(0);
+                let max = vals.iter().copied().max().unwrap_or(0);
+                KeyColumn::One { vals, min, max }
+            }
             [p, q] => KeyColumn::Two(rel.rows().map(|t| pack2(t[p], t[q])).collect()),
             _ => {
                 let mut keys = Vec::with_capacity(rel.len * pos.len());
@@ -199,10 +187,16 @@ impl RelCache {
 
 impl Clone for RelCache {
     fn clone(&self) -> Self {
+        // Force the slot into existence before sharing: a clone taken
+        // *before* the first derivation must still share later fills with
+        // the original (the engines clone state relations up front and
+        // rely on the originals accumulating the key columns — an
+        // uninitialized-slot clone would silently fork the cache and
+        // rebuild every derivation on every call).
         let cache = RelCache::default();
-        if let Some(shared) = self.slot.get() {
-            let _ = cache.slot.set(Arc::clone(shared));
-        }
+        let _ = cache
+            .slot
+            .set(Arc::clone(self.slot.get_or_init(Arc::default)));
         cache
     }
 }
@@ -308,8 +302,10 @@ impl ExactSizeIterator for Rows<'_> {}
 /// Sorts and deduplicates a row-major buffer in place (stride-aware);
 /// returns the surviving row count and buffer. Detects the already-sorted
 /// common case with one linear scan, packs width ≤ 2 rows into scalars,
-/// and sorts wider rows through an index permutation — no per-row heap
-/// allocation for any arity.
+/// packs wider rows into `u64`/`u128` scalars whenever the value bits fit
+/// (see [`kernels::sort_dedup_packed`]), and only falls back to an index
+/// permutation for genuinely wide rows — no per-row heap allocation for
+/// any arity.
 fn normalize(arity: usize, rows: usize, mut data: Vec<u64>) -> (usize, Vec<u64>) {
     if arity == 0 {
         // All empty tuples are equal: the set has at most one element.
@@ -339,6 +335,14 @@ fn normalize(arity: usize, rows: usize, mut data: Vec<u64>) -> (usize, Vec<u64>)
             (packed.len(), data)
         }
         _ => {
+            // Columnar fast path: rows whose values fit pack into scalars
+            // and sort as machine words.
+            let data = match kernels::sort_dedup_packed(arity, rows, data) {
+                Ok(done) => return done,
+                Err(data) => data,
+            };
+            // Row-at-a-time fallback (values too wide to pack): sort an
+            // index permutation, then gather the surviving rows.
             let mut idx: Vec<usize> = (0..rows).collect();
             idx.sort_unstable_by(|&a, &b| {
                 data[a * arity..(a + 1) * arity].cmp(&data[b * arity..(b + 1) * arity])
@@ -510,11 +514,27 @@ impl Relation {
         self.len == 0
     }
 
-    /// Membership test (`tuple` in column order): binary search over row
-    /// indices of the sorted flat buffer.
+    /// Membership test (`tuple` in column order). When the full-attribute
+    /// `KeyIndex` is already cached — built by [`Relation::is_subset`] and
+    /// other assert-heavy repeated-probe paths — the probe is one O(1)
+    /// hash lookup (the key positions are the identity map, so the tuple
+    /// *is* the probe key); a cold one-shot call falls back to the
+    /// allocation-free binary search over the sorted rows rather than
+    /// paying an O(n) index build it would never amortize.
     pub fn contains(&self, tuple: &[u64]) -> bool {
         if self.arity == 0 {
             return tuple.is_empty() && self.len > 0;
+        }
+        if tuple.len() != self.arity {
+            return false; // a tuple of the wrong width is never a member
+        }
+        if let Some(index) = self.key_index_if_cached(&self.attrs) {
+            return match &*index {
+                KeyIndex::Empty(all) => !all.is_empty(),
+                KeyIndex::One(map) => map.contains_key(&tuple[0]),
+                KeyIndex::Two(map) => map.contains_key(&pack2(tuple[0], tuple[1])),
+                KeyIndex::Wide(map) => map.contains_key(tuple),
+            };
         }
         let (mut lo, mut hi) = (0usize, self.len);
         while lo < hi {
@@ -555,6 +575,19 @@ impl Relation {
         let pos = Arc::new(self.positions_of(attrs));
         inner.positions.insert(attrs.clone(), Arc::clone(&pos));
         pos
+    }
+
+    /// The already-cached build table over `key`, if any — no build is
+    /// triggered. Lets cold paths choose a cheaper strategy instead of
+    /// paying an index build they would not amortize.
+    pub(crate) fn key_index_if_cached(&self, key: &AttrSet) -> Option<Arc<KeyIndex>> {
+        self.cache
+            .inner()
+            .lock()
+            .expect("relation cache lock")
+            .builds
+            .get(key)
+            .cloned()
     }
 
     /// The hash-join build table over `key ⊆ attrs(self)` (see
@@ -612,24 +645,30 @@ impl Relation {
             .clone()
     }
 
-    /// The relation restricted to the tuples whose mask bit is set
-    /// (`mask.len() == self.len()`); `kept` is the popcount. Returns a
-    /// plain clone when everything survives. Surviving rows are copied
-    /// contiguously into one pre-sized buffer — filtering preserves order,
-    /// so no re-normalization happens.
-    pub(crate) fn filter_by_mask(&self, mask: &[bool], kept: usize) -> Relation {
-        debug_assert_eq!(mask.len(), self.len);
-        if kept == self.len {
-            return self.clone();
-        }
-        let mut data = Vec::with_capacity(kept * self.arity);
-        for (t, _) in self.rows().zip(mask).filter(|(_, &alive)| alive) {
-            data.extend_from_slice(t);
-        }
-        Relation::from_normalized(self.attrs.clone(), kept, data)
+    /// A columnar view of the flat buffer (the kernel layer's window onto
+    /// this relation's storage).
+    #[inline]
+    pub fn columns_view(&self) -> ColumnarView<'_> {
+        ColumnarView::new(&self.data, self.arity, self.len)
     }
 
-    /// Projection `π_X(self)`.
+    /// The relation restricted to the rows a [`SelVec`] selected. Returns a
+    /// plain clone when everything survives. Surviving rows are gathered
+    /// contiguously (selection order is ascending), so no re-normalization
+    /// happens.
+    pub(crate) fn gather_selected(&self, sel: &SelVec) -> Relation {
+        debug_assert!(sel.len() <= self.len);
+        if sel.len() == self.len {
+            return self.clone();
+        }
+        let mut data = Vec::with_capacity(sel.len() * self.arity);
+        kernels::gather_rows(&self.data, self.arity, sel, &mut data);
+        Relation::from_normalized(self.attrs.clone(), sel.len(), data)
+    }
+
+    /// Projection `π_X(self)`, via the gather kernel: the column-index map
+    /// is computed once (and cached per `AttrSet`), then values move in
+    /// column-strided blocks — no per-row scatter loop.
     ///
     /// # Panics
     ///
@@ -644,16 +683,16 @@ impl Relation {
         }
         let pos = self.positions_cached(x);
         let mut data = Vec::with_capacity(self.len * pos.len());
-        for t in self.rows() {
-            data.extend(pos.iter().map(|&p| t[p]));
-        }
+        self.columns_view().gather_into(&pos, &mut data);
         Relation::from_row_major(x.clone(), self.len, data)
     }
 
     /// Natural join `self ⋈ other` (a cross product when the schemas are
     /// disjoint). Hash join on the shared attributes, building on the
-    /// smaller side; output rows are written straight into one flat
-    /// buffer.
+    /// smaller side. The probe phase collects matching `(probe, build)` row
+    /// pairs; the output buffer is then assembled **column-at-a-time** over
+    /// the pair list (one tight gather loop per output column) instead of a
+    /// per-value scatter inside the probe loop.
     pub fn natural_join(&self, other: &Relation) -> Relation {
         let (build, probe) = if self.len <= other.len {
             (self, other)
@@ -664,43 +703,111 @@ impl Relation {
         let out_attrs = build.attrs.union(&probe.attrs);
         let out_arity = out_attrs.len();
 
-        let probe_key = probe.positions_cached(&shared);
-        // Output columns: for each output attribute, where to copy it from.
-        enum Src {
-            Build(usize),
-            Probe(usize),
-        }
-        let srcs: Vec<Src> = out_attrs
-            .iter()
-            .map(|a| match probe.attrs.as_slice().binary_search(&a) {
-                Ok(p) => Src::Probe(p),
-                Err(_) => Src::Build(
+        // Output column map: each output column reads either from the probe
+        // side or from the build side, at a fixed position.
+        let mut probe_cols: Vec<(usize, usize)> = Vec::new(); // (out col, probe pos)
+        let mut build_cols: Vec<(usize, usize)> = Vec::new(); // (out col, build pos)
+        for (j, a) in out_attrs.iter().enumerate() {
+            match probe.attrs.as_slice().binary_search(&a) {
+                Ok(p) => probe_cols.push((j, p)),
+                Err(_) => build_cols.push((
+                    j,
                     build
                         .attrs
                         .as_slice()
                         .binary_search(&a)
                         .expect("output attr comes from one side"),
-                ),
-            })
-            .collect();
+                )),
+            }
+        }
 
         let table = build.key_index(&shared);
+        let probe_key = probe.positions_cached(&shared);
 
+        // Probe phase: stream matching row pairs into a bounded block
+        // buffer, flushing each full block through the column-at-a-time
+        // assembly kernel. Probe keys are read straight off the row slices
+        // (one streaming pass; the index-shape dispatch is hoisted out of
+        // the loop) — extracting a key column here would cost an extra
+        // pass over the probe side, which one-shot joins never earn back.
+        // The block bound keeps huge join outputs from materializing a
+        // full pair list before assembly.
         let mut data: Vec<u64> = Vec::new();
         let mut rows = 0usize;
-        let mut scratch: Vec<u64> = Vec::with_capacity(probe_key.len());
-        for pt in probe.rows() {
-            if let Some(matches) = table.get(pt, &probe_key, &mut scratch) {
-                for &bi in matches {
-                    let bt = build.row(bi);
-                    data.extend(srcs.iter().map(|s| match *s {
-                        Src::Build(p) => bt[p],
-                        Src::Probe(p) => pt[p],
-                    }));
-                    rows += 1;
+        debug_assert!(
+            probe.len <= u32::MAX as usize && build.len <= u32::MAX as usize,
+            "pair indices are u32; row counts must fit (cf. SelVec::reset)"
+        );
+        const FLUSH: usize = kernels::CHUNK * 16;
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(FLUSH);
+        let mut emit = |pairs: &mut Vec<(u32, u32)>, data: &mut Vec<u64>, force: bool| {
+            if force || pairs.len() >= FLUSH {
+                rows += pairs.len();
+                kernels::gather_pairs(
+                    &probe.data,
+                    probe.arity,
+                    &build.data,
+                    build.arity,
+                    &probe_cols,
+                    &build_cols,
+                    pairs,
+                    out_arity,
+                    data,
+                );
+                pairs.clear();
+            }
+        };
+        macro_rules! probe_loop {
+            ($iter:expr, $map:expr) => {
+                for (pi, k) in $iter {
+                    if let Some(matches) = $map.get(&k) {
+                        for &bi in matches {
+                            pairs.push((pi as u32, bi as u32));
+                        }
+                        emit(&mut pairs, &mut data, false);
+                    }
+                }
+            };
+        }
+        match &*table {
+            KeyIndex::Empty(all) => {
+                // Disjoint schemas: cross product.
+                for pi in 0..probe.len {
+                    for &bi in all {
+                        pairs.push((pi as u32, bi as u32));
+                    }
+                    emit(&mut pairs, &mut data, false);
+                }
+            }
+            KeyIndex::One(map) => {
+                let p = probe_key[0];
+                probe_loop!(probe.rows().enumerate().map(|(pi, t)| (pi, t[p])), map)
+            }
+            KeyIndex::Two(map) => {
+                let (p, q) = (probe_key[0], probe_key[1]);
+                probe_loop!(
+                    probe
+                        .rows()
+                        .enumerate()
+                        .map(|(pi, t)| (pi, pack2(t[p], t[q]))),
+                    map
+                )
+            }
+            KeyIndex::Wide(map) => {
+                let mut scratch: Vec<u64> = Vec::with_capacity(probe_key.len());
+                for (pi, t) in probe.rows().enumerate() {
+                    scratch.clear();
+                    scratch.extend(probe_key.iter().map(|&p| t[p]));
+                    if let Some(matches) = map.get(scratch.as_slice()) {
+                        for &bi in matches {
+                            pairs.push((pi as u32, bi as u32));
+                        }
+                        emit(&mut pairs, &mut data, false);
+                    }
                 }
             }
         }
+        emit(&mut pairs, &mut data, true);
         debug_assert_eq!(data.len(), rows * out_arity);
         Relation::from_row_major(out_attrs, rows, data)
     }
@@ -716,21 +823,54 @@ impl Relation {
         self.semijoin_filtered(&my_key, &index)
     }
 
-    /// The probe half of a semijoin: keeps the tuples whose `my_key` columns
-    /// hit `index`, gathered contiguously into one flat buffer (filtering
-    /// preserves normalization).
+    /// The probe half of a semijoin: one streaming pass keeps the tuples
+    /// whose `my_key` columns hit `index`, written contiguously into one
+    /// pre-sized flat buffer (filtering preserves normalization). The
+    /// index-shape dispatch is hoisted out of the row loop; this stays
+    /// row-at-a-time deliberately — a one-shot filter earns nothing from a
+    /// selection vector (that is the *program* executor's tool, where
+    /// selections thread across many steps without materializing).
     pub(crate) fn semijoin_filtered(&self, my_key: &[usize], index: &KeyIndex) -> Relation {
-        let mut scratch: Vec<u64> = Vec::with_capacity(my_key.len());
+        if self.len == 0 {
+            return self.clone();
+        }
         // The output is bounded by the input; reserving the bound up front
         // avoids doubling reallocations, and a highly selective filter
         // gives the excess back.
         let mut data: Vec<u64> = Vec::with_capacity(self.len * self.arity);
         let mut kept = 0usize;
-        for t in self.rows() {
-            if index.contains(t, my_key, &mut scratch) {
-                data.extend_from_slice(t);
-                kept += 1;
+        macro_rules! filter_rows {
+            ($keep:expr) => {
+                for t in self.rows() {
+                    #[allow(clippy::redundant_closure_call)]
+                    if $keep(t) {
+                        data.extend_from_slice(t);
+                        kept += 1;
+                    }
+                }
+            };
+        }
+        match (index, my_key) {
+            (KeyIndex::Empty(all), _) => {
+                return if all.is_empty() {
+                    Relation::empty(self.attrs.clone())
+                } else {
+                    self.clone()
+                };
             }
+            (KeyIndex::One(map), &[p]) => filter_rows!(|t: &[u64]| map.contains_key(&t[p])),
+            (KeyIndex::Two(map), &[p, q]) => {
+                filter_rows!(|t: &[u64]| map.contains_key(&pack2(t[p], t[q])))
+            }
+            (KeyIndex::Wide(map), _) => {
+                let mut scratch: Vec<u64> = Vec::with_capacity(my_key.len());
+                filter_rows!(|t: &[u64]| {
+                    scratch.clear();
+                    scratch.extend(my_key.iter().map(|&p| t[p]));
+                    map.contains_key(scratch.as_slice())
+                })
+            }
+            _ => unreachable!("key width matches the index shape"),
         }
         if data.capacity() > 2 * data.len() {
             data.shrink_to_fit();
@@ -772,9 +912,22 @@ impl Relation {
     }
 
     /// Whether `self ⊆ other` as tuple sets (same attribute set required).
+    /// Builds (or reuses) `other`'s full-attribute `KeyIndex` once and
+    /// probes it directly per row: this is the assert-heavy repeated-probe
+    /// pattern the cached index exists for — one hash lookup per tuple,
+    /// one cache-lock for the whole check.
     pub fn is_subset(&self, other: &Relation) -> bool {
         assert_eq!(self.attrs, other.attrs, "comparison requires equal schemas");
-        self.rows().all(|t| other.contains(t))
+        if self.arity == 0 || self.is_empty() {
+            return self.is_empty() || other.len > 0;
+        }
+        let index = other.key_index(&other.attrs);
+        match &*index {
+            KeyIndex::Empty(all) => !all.is_empty(),
+            KeyIndex::One(map) => self.rows().all(|t| map.contains_key(&t[0])),
+            KeyIndex::Two(map) => self.rows().all(|t| map.contains_key(&pack2(t[0], t[1]))),
+            KeyIndex::Wide(map) => self.rows().all(|t| map.contains_key(t)),
+        }
     }
 
     /// Renders a small relation as an ASCII table for diagnostics.

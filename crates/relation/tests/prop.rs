@@ -1,11 +1,17 @@
 //! Property tests for the relational algebra: the equational laws the
 //! paper's query rewrites depend on, plus the flat-storage invariants
 //! (round-trip through the `Vec<Vec<u64>>` shim, operator equivalence
-//! against naive per-row reference implementations).
+//! against naive per-row reference implementations) and the columnar
+//! kernel laws (gather projection, chunked key-compare semijoins for key
+//! widths 1/2/wide, selection-vector program execution — each against a
+//! per-row reference, on small and on pack-defeating huge values).
 
 use std::collections::BTreeSet;
 
-use gyo_relation::{join_of_projections, satisfies_jd, DbState, Relation};
+use gyo_relation::{
+    join_of_projections, satisfies_jd, semijoin_program, semijoin_program_with, DbState,
+    ExecScratch, Relation, SemijoinStep,
+};
 use gyo_schema::{AttrSet, DbSchema};
 use proptest::prelude::*;
 
@@ -15,6 +21,26 @@ fn relation(attrs: Vec<u32>) -> impl Strategy<Value = Relation> {
     let set = AttrSet::from_raw(&attrs);
     let width = set.len();
     proptest::collection::vec(proptest::collection::vec(0u64..4, width), 0..12)
+        .prop_map(move |tuples| Relation::new(set.clone(), tuples))
+}
+
+/// A value strategy that mixes small values with huge ones (near `u64::MAX`)
+/// so normalization exercises both the packed-scalar sort and the
+/// index-permutation fallback, and the stamp-table membership path declines
+/// in favor of hashing.
+fn any_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..4,
+        1 => (u64::MAX - 3)..=u64::MAX,
+    ]
+}
+
+/// A relation over an explicit attribute list with mixed-magnitude values —
+/// wide arities included (the caller controls the width).
+fn relation_over(attrs: Vec<u32>) -> impl Strategy<Value = Relation> {
+    let set = AttrSet::from_raw(&attrs);
+    let width = set.len();
+    proptest::collection::vec(proptest::collection::vec(any_value(), width), 0..12)
         .prop_map(move |tuples| Relation::new(set.clone(), tuples))
 }
 
@@ -199,6 +225,116 @@ proptest! {
         if r.attrs() == s.attrs() {
             let expect_union: BTreeSet<Vec<u64>> = r.rows().chain(s.rows()).map(<[u64]>::to_vec).collect();
             prop_assert_eq!(r.union(&s).to_vecs(), expect_union.into_iter().collect::<Vec<_>>());
+        }
+    }
+}
+
+/// Per-row reference semijoin: `r ⋉ s` by nested loops over the shim rows.
+fn reference_semijoin(r: &Relation, s: &Relation) -> Vec<Vec<u64>> {
+    let shared = r.attrs().intersect(s.attrs());
+    let rp: Vec<usize> = shared
+        .iter()
+        .map(|a| r.attrs().iter().position(|b| b == a).unwrap())
+        .collect();
+    let sp: Vec<usize> = shared
+        .iter()
+        .map(|a| s.attrs().iter().position(|b| b == a).unwrap())
+        .collect();
+    r.rows()
+        .filter(|tr| {
+            s.rows()
+                .any(|ts| rp.iter().zip(&sp).all(|(&p, &q)| tr[p] == ts[q]))
+        })
+        .map(<[u64]>::to_vec)
+        .collect()
+}
+
+/// Schemas whose pairwise overlaps hit every key-width class: width-1
+/// (`b`), width-2 (`bc`), wide/width-3 (`cde`-style), plus the empty key
+/// (disjoint pair) and the degenerate `∅` schema for `{}`/`{()}` edges.
+fn kernel_schemas() -> Vec<Vec<u32>> {
+    vec![
+        vec![0, 1],          // ab
+        vec![1, 2],          // bc           (width-1 key vs ab)
+        vec![1, 2, 3],       // bcd          (width-2 key vs bc)
+        vec![1, 2, 3, 4, 5], // bcdef        (width-3 key vs bcd)
+        vec![2, 3, 4, 5, 6], // cdefg        (width-4 key vs bcdef)
+        vec![9],             // j            (empty key vs everything)
+        vec![],              // ∅            ({} / {()} edge cases)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Gather projection agrees with the per-row reference on wide arities
+    /// and mixed-magnitude values (contiguous and scattered column maps).
+    #[test]
+    fn gather_projection_matches_reference_on_wide_rows(
+        r in relation_over(vec![0, 1, 2, 3, 4, 5, 6, 7]),
+        onto in proptest::collection::vec(0u32..8, 0..=8),
+    ) {
+        let onto = AttrSet::from_raw(&onto);
+        let pos: Vec<usize> = onto.iter()
+            .map(|a| r.attrs().iter().position(|b| b == a).unwrap())
+            .collect();
+        let expect: BTreeSet<Vec<u64>> = r.rows()
+            .map(|t| pos.iter().map(|&p| t[p]).collect())
+            .collect();
+        let proj = r.project(&onto);
+        prop_assert_eq!(proj.to_vecs(), expect.into_iter().collect::<Vec<_>>());
+        prop_assert_eq!(proj.len() * proj.arity(), proj.data().len());
+    }
+
+    /// The chunked key-compare semijoin agrees with the per-row reference
+    /// for every key width the schema pool produces (1, 2, wide, empty),
+    /// on small and pack-defeating values.
+    #[test]
+    fn kernel_semijoin_matches_reference_for_all_key_widths(
+        ra in proptest::sample::select(kernel_schemas()).prop_flat_map(relation_over),
+        rb in proptest::sample::select(kernel_schemas()).prop_flat_map(relation_over),
+    ) {
+        prop_assert_eq!(ra.semijoin(&rb).to_vecs(), reference_semijoin(&ra, &rb));
+        prop_assert_eq!(rb.semijoin(&ra).to_vecs(), reference_semijoin(&rb, &ra));
+        // Definition check against the (independently kernel-tested) join.
+        prop_assert_eq!(ra.semijoin(&rb), ra.natural_join(&rb).project(ra.attrs()));
+    }
+
+    /// Selection-vector program execution (`semijoin_program`, fresh and
+    /// warm-scratch) agrees with the naive sequence of per-call semijoin
+    /// operators on random programs over the width-mixed schema pool.
+    #[test]
+    fn selvec_program_matches_sequential_semijoins(
+        rels0 in proptest::collection::vec(
+            proptest::sample::select(kernel_schemas()).prop_flat_map(relation_over), 2..6),
+        raw_steps in proptest::collection::vec((0usize..6, 0usize..6), 0..12),
+        reuse in any::<bool>(),
+    ) {
+        let schemas: Vec<AttrSet> = rels0.iter().map(|r| r.attrs().clone()).collect();
+        let steps: Vec<SemijoinStep> = raw_steps.iter()
+            .map(|&(t, s)| SemijoinStep::new(&schemas, t % rels0.len(), s % rels0.len()))
+            .collect();
+
+        // Reference: one semijoin operator per step, in order.
+        let mut expect = rels0.clone();
+        for st in &steps {
+            expect[st.target()] = expect[st.target()].semijoin(&expect[st.source()].clone());
+        }
+
+        let mut got = rels0.clone();
+        if reuse {
+            // Warm the scratch on a first run, then re-run from the
+            // original state: reused buffers must not change answers.
+            let mut scratch = ExecScratch::new();
+            let mut warm = rels0.clone();
+            semijoin_program_with(&mut warm, &steps, &mut scratch);
+            semijoin_program_with(&mut got, &steps, &mut scratch);
+            prop_assert_eq!(&warm, &got, "warm-up run and reuse run agree");
+        } else {
+            semijoin_program(&mut got, &steps);
+        }
+        for (k, (g, e)) in got.iter().zip(&expect).enumerate() {
+            prop_assert_eq!(g, e, "slot {}", k);
         }
     }
 }

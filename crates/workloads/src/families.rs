@@ -14,21 +14,25 @@ use gyo_schema::DbSchema;
 use rand::Rng;
 
 use crate::data::{noisy_ur_state, random_universal};
-use crate::schemas::{aring_n, chain, grid, random_tree_schema, star};
+use crate::schemas::{aring_n, chain, grid, random_tree_schema, star, tpch_like, wide_chain};
 
 /// A named schema drawn from one of the benchmark families.
 #[derive(Clone, Debug)]
 pub struct FamilySchema {
-    /// Family name (`chain`, `star`, `ring`, `grid`, `random_tree`).
+    /// Family name (`chain`, `star`, `ring`, `grid`, `random_tree`,
+    /// `wide_chain`, `tpch`).
     pub name: &'static str,
     /// The generated schema.
     pub schema: DbSchema,
 }
 
 /// One schema per engine-workload family at roughly `scale` relations:
-/// chains, stars, rings, grids, and random trees. Rings and (non-degenerate)
-/// grids are cyclic — exactly the schemas the semijoin engines must
-/// *decline* while the naive engine still answers.
+/// chains, stars, rings, grids, random trees, plus the two **wide-arity**
+/// tree families — arity-6 wide chains (width-3 semijoin keys, driving the
+/// wide-key kernels) and the TPC-H-like snowflake (arity 4–6, fact-table
+/// fan-out). Rings and (non-degenerate) grids are cyclic — exactly the
+/// schemas the semijoin engines must *decline* while the naive engine
+/// still answers.
 pub fn engine_families<R: Rng + ?Sized>(rng: &mut R, scale: usize) -> Vec<FamilySchema> {
     let scale = scale.max(3);
     // Side length so the grid has about `scale` edge relations.
@@ -55,6 +59,14 @@ pub fn engine_families<R: Rng + ?Sized>(rng: &mut R, scale: usize) -> Vec<Family
         FamilySchema {
             name: "random_tree",
             schema: random_tree_schema(rng, scale, 2 * scale, 0.4),
+        },
+        FamilySchema {
+            name: "wide_chain",
+            schema: wide_chain(scale, 6, 3),
+        },
+        FamilySchema {
+            name: "tpch",
+            schema: tpch_like(),
         },
     ]
 }
@@ -85,9 +97,35 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let fams = engine_families(&mut rng, 8);
         let names: Vec<&str> = fams.iter().map(|f| f.name).collect();
-        assert_eq!(names, ["chain", "star", "ring", "grid", "random_tree"]);
+        assert_eq!(
+            names,
+            [
+                "chain",
+                "star",
+                "ring",
+                "grid",
+                "random_tree",
+                "wide_chain",
+                "tpch"
+            ]
+        );
         let kinds: Vec<bool> = fams.iter().map(|f| is_tree_schema(&f.schema)).collect();
-        assert_eq!(kinds, [true, true, false, false, true]);
+        assert_eq!(kinds, [true, true, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn wide_families_have_wide_keys() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let fams = engine_families(&mut rng, 6);
+        let wc = fams.iter().find(|f| f.name == "wide_chain").unwrap();
+        assert_eq!(wc.schema.len(), 6);
+        for w in wc.schema.rels().windows(2) {
+            assert_eq!(w[0].intersect(&w[1]).len(), 3, "width-3 semijoin keys");
+            assert_eq!(w[0].len(), 6);
+        }
+        let tpch = fams.iter().find(|f| f.name == "tpch").unwrap();
+        assert!(tpch.schema.iter().all(|r| (4..=6).contains(&r.len())));
+        assert!(tpch.schema.iter().any(|r| r.len() == 6), "fact table");
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! claims at benchmark scale needs parameterized families:
 //!
 //! * deterministic shapes — [`chain`], [`star`], [`aring_n`], [`aclique_n`],
-//!   [`grid`] — covering the canonical tree and cyclic topologies;
+//!   [`grid`] — covering the canonical tree and cyclic topologies, plus the
+//!   **wide-arity** tree families [`wide_chain`] (arity/overlap
+//!   parameterized — the overlap is the semijoin key width, so `overlap ≥ 3`
+//!   exercises the wide-key kernels) and [`tpch_like`] (a TPC-H-style
+//!   acyclic snowflake of arity-4…6 relations);
 //! * randomized generators — [`random_tree_schema`] (guaranteed tree
 //!   schemas, built around a random qual tree), [`random_schema`]
 //!   (unconstrained hypergraphs), [`random_cyclic_schema`];
@@ -28,5 +32,5 @@ pub use data::{jd_closed_universal, noisy_ur_state, random_universal, ur_state};
 pub use families::{engine_families, family_state, FamilySchema};
 pub use schemas::{
     aclique_n, aring_n, caterpillar, chain, grid, numbered_catalog, random_cyclic_schema,
-    random_schema, random_tree_schema, ring_of_cliques, star,
+    random_schema, random_tree_schema, ring_of_cliques, star, tpch_like, wide_chain,
 };

@@ -199,6 +199,73 @@ pub fn ring_of_cliques(cliques: usize, clique_size: usize) -> DbSchema {
     DbSchema::new(rels)
 }
 
+/// A **wide chain**: `n` relations of `arity` attributes each, consecutive
+/// relations overlapping in `overlap` attributes — the wide-arity
+/// generalization of [`chain`] (`chain(n) = wide_chain(n, 2, 1)`). Always a
+/// tree schema (the running intersection property holds along the chain by
+/// construction), and the semijoin keys between neighbors have width
+/// exactly `overlap`, so `overlap ≥ 3` drives every wide-key kernel path
+/// (packed side-buffer key columns, chunked-memcmp membership).
+///
+/// # Panics
+///
+/// Panics if `overlap >= arity` (neighbors would collapse) or `arity == 0`.
+pub fn wide_chain(n: usize, arity: usize, overlap: usize) -> DbSchema {
+    assert!(arity > 0, "relations need at least one attribute");
+    assert!(
+        overlap < arity,
+        "overlap must leave fresh attributes per link"
+    );
+    let step = (arity - overlap) as u32;
+    DbSchema::new(
+        (0..n as u32)
+            .map(|i| {
+                let start = i * step;
+                AttrSet::from_iter((start..start + arity as u32).map(AttrId))
+            })
+            .collect(),
+    )
+}
+
+/// A TPC-H-like **acyclic join graph** over arity-4…6 relations: a
+/// fact-table snowflake (lineitem at the center; orders, part, supplier
+/// branching off; customer behind orders; two separate nation dimensions
+/// behind customer and supplier so the hypergraph stays a tree — sharing
+/// one nation attribute would close the classic customer↔supplier cycle).
+/// The wide/hard acyclic shape Greco–Scarcello-style instances stress:
+/// high-arity relations, single-attribute join keys, fan-out at the fact
+/// table.
+///
+/// Attribute ids (all distinct unless named identically):
+/// `orderkey=0, custkey=1, partkey=2, suppkey=3`, the rest private.
+pub fn tpch_like() -> DbSchema {
+    const ORDERKEY: u32 = 0;
+    const CUSTKEY: u32 = 1;
+    const PARTKEY: u32 = 2;
+    const SUPPKEY: u32 = 3;
+    const C_NATION: u32 = 4;
+    const S_NATION: u32 = 5;
+    // private attributes start at 6
+    DbSchema::new(vec![
+        // lineitem(orderkey, partkey, suppkey, lineno, qty, price)
+        AttrSet::from_raw(&[ORDERKEY, PARTKEY, SUPPKEY, 6, 7, 8]),
+        // orders(orderkey, custkey, odate, ostatus)
+        AttrSet::from_raw(&[ORDERKEY, CUSTKEY, 9, 10]),
+        // customer(custkey, c_nation, mktsegment, acctbal)
+        AttrSet::from_raw(&[CUSTKEY, C_NATION, 11, 12]),
+        // part(partkey, brand, ptype, psize, container)
+        AttrSet::from_raw(&[PARTKEY, 13, 14, 15, 16]),
+        // supplier(suppkey, s_nation, sphone, sacctbal)
+        AttrSet::from_raw(&[SUPPKEY, S_NATION, 17, 18]),
+        // nation_c(c_nation, c_regionkey, c_nname, c_ncomment) — customer's dimension
+        AttrSet::from_raw(&[C_NATION, 19, 20, 25]),
+        // nation_s(s_nation, s_regionkey, s_nname, s_ncomment) — supplier's dimension
+        AttrSet::from_raw(&[S_NATION, 21, 22, 26]),
+        // partsupp(partkey, suppkey, availqty, supplycost)
+        AttrSet::from_raw(&[PARTKEY, SUPPKEY, 23, 24]),
+    ])
+}
+
 /// A "caterpillar" tree schema: a spine chain of `spine` relations, each
 /// carrying `legs` pendant relations — the worst case for naive subset
 /// scans, the friendly case for the incremental GYO engine.
@@ -331,6 +398,40 @@ mod tests {
         assert_eq!(d.len(), 12);
         let single = ring_of_cliques(1, 4);
         assert_eq!(classify(&single), SchemaKind::Cyclic);
+    }
+
+    #[test]
+    fn wide_chain_is_a_tree_schema_with_exact_overlap() {
+        for (n, arity, overlap) in [(1usize, 4usize, 2usize), (3, 4, 3), (8, 6, 3), (5, 8, 5)] {
+            let d = wide_chain(n, arity, overlap);
+            assert_eq!(d.len(), n);
+            assert!(is_tree_schema(&d), "n={n} arity={arity} overlap={overlap}");
+            for w in d.rels().windows(2) {
+                assert_eq!(w[0].len(), arity);
+                assert_eq!(w[0].intersect(&w[1]).len(), overlap);
+            }
+        }
+        assert_eq!(wide_chain(4, 2, 1), chain(4), "chain is the arity-2 case");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn wide_chain_rejects_full_overlap() {
+        wide_chain(3, 4, 4);
+    }
+
+    #[test]
+    fn tpch_like_is_a_wide_acyclic_snowflake() {
+        let d = tpch_like();
+        assert!(is_tree_schema(&d), "the two-nation snowflake is acyclic");
+        assert_eq!(d.len(), 8);
+        assert!(d.iter().all(|r| (4..=6).contains(&r.len())));
+        // Closing the customer↔supplier cycle through one shared nation
+        // attribute must flip the classification — the schema is acyclic
+        // *because* the dimensions are split.
+        let mut closed = d.clone();
+        closed.push(AttrSet::from_raw(&[4, 5]));
+        assert_eq!(classify(&closed), SchemaKind::Cyclic);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod sample;
 pub mod strategy;
 pub mod test_runner;
 
@@ -48,7 +49,32 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice between strategies producing one value type, mirroring
+/// the real crate's `prop_oneof!`:
+///
+/// ```
+/// use proptest::prelude::*;
+/// let mixed = prop_oneof![
+///     4 => 0u64..10,         // 80%: small
+///     1 => 1_000u64..2_000,  // 20%: large
+/// ];
+/// # let _ = mixed;
+/// ```
+///
+/// Arms without weights (`prop_oneof![a, b, c]`) are uniform.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($weight as u32, $strategy)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
 }
 
 /// Declare property tests.

@@ -1,0 +1,29 @@
+//! Sampling strategies: [`select`], mirroring `proptest::sample::select`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy drawing one element uniformly from a fixed pool (clone per
+/// case). Mirrors the real crate's `sample::select` for `Vec` inputs.
+///
+/// # Panics
+///
+/// Panics (on first generation) if the pool is empty.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    Select { values }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.values.is_empty(), "select requires a nonempty pool");
+        let i = rand::Rng::random_range(rng, 0..self.values.len());
+        self.values[i].clone()
+    }
+}

@@ -127,6 +127,52 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// A weighted union of boxed strategies over one value type — the engine
+/// behind [`prop_oneof!`](crate::prop_oneof). Each case picks an arm with
+/// probability proportional to its weight, then generates from it.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no arm is given or every weight is zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(
+            arms.iter().map(|&(w, _)| w as u64).sum::<u64>() > 0,
+            "prop_oneof needs at least one arm with nonzero weight"
+        );
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|&(w, _)| w as u64).sum();
+        let mut pick = rand::Rng::random_range(rng, 0..total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("pick < total by construction");
+    }
+}
+
+/// Boxes one [`prop_oneof!`](crate::prop_oneof) arm (a helper so the macro
+/// can collect heterogeneous strategy types without naming them).
+pub fn union_arm<T, S>(weight: u32, s: S) -> (u32, Box<dyn Strategy<Value = T>>)
+where
+    S: Strategy<Value = T> + 'static,
+{
+    (weight, Box::new(s))
+}
+
 // Sampling delegates to the rand shim so the range arithmetic (emptiness
 // checks, modulo sampling) lives in exactly one place.
 macro_rules! impl_range_strategy {
