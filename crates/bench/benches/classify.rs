@@ -11,7 +11,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gyo_bench::bench_rng;
 use gyo_core::reduce::{gyo_reduce_naive, is_tree_schema};
 use gyo_core::schema::qual::maximum_weight_join_tree;
-use gyo_core::{AttrSet, DbState, Engine, FullReducerEngine, IncrementalEngine, NaiveEngine};
+use gyo_core::{
+    reduce_via_treeification, solve_via_treeification, AttrSet, DbState, Engine, FullReducerEngine,
+    IncrementalEngine, NaiveEngine, TreeifyEngine,
+};
 use gyo_workloads::{
     aclique_n, aring_n, chain, family_state, grid, random_tree_schema, random_universal, star,
     wide_chain,
@@ -120,6 +123,80 @@ fn bench_reduction_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Treeification engines on the cyclic families (rings and grids): the
+/// per-call path (`solve_via_treeification` / `reduce_via_treeification` —
+/// GYO reduction, extended join tree, and every semijoin re-derived and
+/// re-materialized per call) against [`TreeifyEngine`], whose cached
+/// [`TreeifyPlan`] pays the schema-dependent work once and runs the
+/// selection-vector executor per call. Both paths share the one
+/// data-dependent cost — materializing `state(W)` — so the ratio isolates
+/// what the plan cache buys. The acceptance target of this family: the
+/// cached plan beats per-call treeification by ≥2× on the ring at n = 128.
+fn bench_treeify_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify/engines");
+    let engine = TreeifyEngine::new();
+    for n in [8usize, 32, 128] {
+        let d = aring_n(n);
+        let mut rng = bench_rng();
+        // Mostly-UR data (64 shared rows + 16 dangling per relation) keeps
+        // the ring's W-join nonempty — the core join does real work — while
+        // the dangling rows give both full reducers real filtering to do.
+        let state = family_state(&mut rng, &d, 64, 1 << 14, 16);
+        // Target on the residue: W spans the whole ring, so the answer
+        // projects the reduced W directly.
+        let x = AttrSet::from_raw(&[0, (n / 2) as u32]);
+        assert_eq!(
+            engine.answer(&d, &state, &x).expect("treeify is total"),
+            solve_via_treeification(&d, &state, &x),
+            "sanity"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("treeify_answer_cached", n),
+            &state,
+            |b, state| b.iter(|| black_box(engine.answer(&d, state, &x).unwrap().len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("treeify_answer_percall", n),
+            &state,
+            |b, state| b.iter(|| black_box(solve_via_treeification(&d, state, &x).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("treeify_reduce_cached", n),
+            &state,
+            |b, state| b.iter(|| black_box(engine.reduce(&d, state).unwrap().rel(0).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("treeify_reduce_percall", n),
+            &state,
+            |b, state| b.iter(|| black_box(reduce_via_treeification(&d, state).rel(0).len())),
+        );
+    }
+    // Grids: every unit square is a 4-ring, so the whole grid survives GYO
+    // and W spans all vertices — the hardest residue shape per relation.
+    for side in [3usize, 6] {
+        let d = grid(side, side);
+        let mut rng = bench_rng();
+        let state = family_state(&mut rng, &d, 64, 1 << 12, 16);
+        let x = AttrSet::from_raw(&[0, (side * side - 1) as u32]);
+        assert_eq!(
+            engine.answer(&d, &state, &x).expect("treeify is total"),
+            solve_via_treeification(&d, &state, &x),
+            "sanity"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("treeify_grid_cached", side),
+            &state,
+            |b, state| b.iter(|| black_box(engine.answer(&d, state, &x).unwrap().len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("treeify_grid_percall", side),
+            &state,
+            |b, state| b.iter(|| black_box(solve_via_treeification(&d, state, &x).len())),
+        );
+    }
+    group.finish();
+}
+
 /// Materialization-dominated paths: projecting a universal relation into a
 /// UR state (`from_universal`), and answering `(D, X)` with the cached
 /// engine (reduce + join up the tree, materializing the answer). Unlike the
@@ -170,6 +247,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(900));
-    targets = bench_families, bench_engines, bench_reduction_engines, bench_materialize, bench_grids
+    targets = bench_families, bench_engines, bench_reduction_engines, bench_treeify_engines, bench_materialize, bench_grids
 }
 criterion_main!(benches);

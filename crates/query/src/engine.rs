@@ -20,43 +20,163 @@
 //!   positions resolved ahead of time), keyed by the schema's exact
 //!   relation-list identity, and reuses it across calls.
 //!
-//! All three implement [`Engine`]; the repo-level differential suite
+//! A fourth engine lives in [`crate::treeify_engine`]:
+//! [`TreeifyEngine`](crate::TreeifyEngine), which delegates tree schemas
+//! to a [`FullReducerEngine`] and answers cyclic ones through a cached
+//! treeification plan — making the trait **total**. Declines carry an
+//! [`EngineError`] naming the stuck GYO residue, never a bare `None`.
+//!
+//! All four implement [`Engine`]; the repo-level differential suite
 //! (`tests/engine_differential.rs`) holds them to identical answers on
 //! every workload family.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use gyo_reduce::{gyo_reduce, join_tree_from_trace};
+use gyo_reduce::Reduction;
 use gyo_relation::{semijoin_program_with, DbState, ExecScratch, Relation, SemijoinStep};
-use gyo_schema::{AttrSet, DbSchema, FxHashMap, RootedTree};
+use gyo_schema::{AttrSet, Catalog, DbSchema, FxHashMap, RootedTree};
 
 use crate::program::Program;
 use crate::yannakakis::{
-    full_reduce, full_reducer_program_on_tree, join_up_tree, solve_tree_query,
+    derive_rooted_tree, full_reduce, full_reducer_program_on_tree, join_up_tree, solve_tree_query,
 };
+
+/// Why an engine (or any tree-only entry point of this crate) could not
+/// serve a schema.
+///
+/// The only failure mode the paper's machinery admits is **cyclicity**: the
+/// GYO reduction got stuck before collapsing the schema, so no join tree —
+/// and hence no full reducer — exists (Corollary 3.1). Rather than a bare
+/// decline, the error carries the evidence: the non-reducible residue
+/// `GR(D)` (every relation of which still overlaps its neighbors in a way
+/// neither GYO operation can break) and the original indices of the
+/// surviving relations, so callers can show *which* cycle blocked the
+/// semijoin engines — and so [`TreeifyEngine`](crate::TreeifyEngine) can
+/// treeify exactly that residue without re-running the reduction.
+///
+/// ```
+/// use gyo_schema::{AttrSet, Catalog, DbSchema};
+/// use gyo_relation::DbState;
+/// use gyo_query::{Engine, EngineError, FullReducerEngine};
+///
+/// let mut cat = Catalog::alphabetic();
+/// // A 3-ring with a pendant: GYO strips the pendant, the ring remains.
+/// let d = DbSchema::parse("ab, bc, ca, ax", &mut cat).unwrap();
+/// let state = DbState::new(&d, d.iter().map(|r| {
+///     gyo_relation::Relation::empty(r.clone())
+/// }).collect());
+/// let err = FullReducerEngine::new().reduce(&d, &state).unwrap_err();
+/// assert_eq!(err.residue().to_notation(&cat), "(ab, bc, ac)");
+/// assert_eq!(err.survivors(), &[0, 1, 2], "the pendant ax was reduced away");
+/// assert!(err.to_string().contains("cyclic"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The schema is cyclic: the GYO reduction stalled on a non-trivial
+    /// residue, so tree-schema machinery (join trees, full reducers) does
+    /// not apply.
+    Cyclic {
+        /// `GR(D, ∅)` — the stuck residue: the relation schemas (with
+        /// already-deleted attributes removed) on which neither isolated-
+        /// attribute deletion nor subset elimination applies. This is the
+        /// offending cyclic core.
+        residue: DbSchema,
+        /// Original indices into `D` of the residue's relations (parallel
+        /// to `residue.rels()`).
+        survivors: Vec<usize>,
+    },
+}
+
+impl EngineError {
+    /// Builds the cyclic-schema error from a stuck reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `red` is total (a total reduction is not an error).
+    pub fn cyclic(red: &Reduction) -> Self {
+        assert!(!red.is_total(), "total GYO reductions are not errors");
+        EngineError::Cyclic {
+            residue: red.result.clone(),
+            survivors: red.survivors.clone(),
+        }
+    }
+
+    /// The stuck GYO residue `GR(D)` — the offending cycle.
+    pub fn residue(&self) -> &DbSchema {
+        match self {
+            EngineError::Cyclic { residue, .. } => residue,
+        }
+    }
+
+    /// Original relation indices of the residue's members.
+    pub fn survivors(&self) -> &[usize] {
+        match self {
+            EngineError::Cyclic { survivors, .. } => survivors,
+        }
+    }
+
+    /// Renders the diagnostic with attribute names resolved through `cat`,
+    /// e.g. `schema is cyclic: GYO stuck on R0, R1, R2 with residue
+    /// (ab, bc, ac)`.
+    pub fn display_with(&self, cat: &Catalog) -> String {
+        match self {
+            EngineError::Cyclic { residue, survivors } => {
+                let rs: Vec<String> = survivors.iter().map(|i| format!("R{i}")).collect();
+                format!(
+                    "schema is cyclic: GYO stuck on {} with residue {}",
+                    rs.join(", "),
+                    residue.to_notation(cat)
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Cyclic { residue, survivors } => {
+                write!(
+                    f,
+                    "schema is cyclic: GYO reduction stuck on {} residue relation(s) \
+                     (original indices {:?})",
+                    residue.len(),
+                    survivors
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// A query/reduction engine: one strategy for making states globally
 /// consistent and answering natural-join queries `(D, X)`.
 ///
-/// `None` means the engine does not support the schema (the semijoin
-/// engines are tree-only; full reducers do not exist for cyclic schemas).
+/// An `Err` means the engine does not support the schema, and says why:
+/// the semijoin engines are tree-only (full reducers do not exist for
+/// cyclic schemas), so their error is always [`EngineError::Cyclic`] with
+/// the stuck residue attached. [`NaiveEngine`] and
+/// [`TreeifyEngine`](crate::TreeifyEngine) are **total** — they never
+/// return `Err`.
 pub trait Engine {
     /// A stable identifier for reports and benchmarks.
     fn name(&self) -> &'static str;
 
     /// Full reduction: returns a state with
-    /// `result[i] = π_{Rᵢ}(⋈ state)` for every `i`, or `None` when the
+    /// `result[i] = π_{Rᵢ}(⋈ state)` for every `i`, or the reason the
     /// engine cannot reduce `d`.
-    fn reduce(&self, d: &DbSchema, state: &DbState) -> Option<DbState>;
+    fn reduce(&self, d: &DbSchema, state: &DbState) -> Result<DbState, EngineError>;
 
-    /// Answers the query `(D, X)`: `π_X(⋈ state)`, or `None` when the
+    /// Answers the query `(D, X)`: `π_X(⋈ state)`, or the reason the
     /// engine cannot solve on `d`.
     ///
     /// # Panics
     ///
     /// Panics if `x ⊄ U(D)`.
-    fn answer(&self, d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Relation>;
+    fn answer(&self, d: &DbSchema, state: &DbState, x: &AttrSet) -> Result<Relation, EngineError>;
 }
 
 /// The definitional engine: materializes the full join. Supports every
@@ -69,9 +189,9 @@ impl Engine for NaiveEngine {
         "naive"
     }
 
-    fn reduce(&self, d: &DbSchema, state: &DbState) -> Option<DbState> {
+    fn reduce(&self, d: &DbSchema, state: &DbState) -> Result<DbState, EngineError> {
         let total = state.join_all();
-        Some(DbState::new(
+        Ok(DbState::new(
             d,
             d.iter()
                 .map(|r| {
@@ -85,8 +205,8 @@ impl Engine for NaiveEngine {
         ))
     }
 
-    fn answer(&self, _d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Relation> {
-        Some(state.eval_join_query(x))
+    fn answer(&self, _d: &DbSchema, state: &DbState, x: &AttrSet) -> Result<Relation, EngineError> {
+        Ok(state.eval_join_query(x))
     }
 }
 
@@ -102,11 +222,11 @@ impl Engine for IncrementalEngine {
         "incremental"
     }
 
-    fn reduce(&self, d: &DbSchema, state: &DbState) -> Option<DbState> {
+    fn reduce(&self, d: &DbSchema, state: &DbState) -> Result<DbState, EngineError> {
         full_reduce(d, state)
     }
 
-    fn answer(&self, d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Relation> {
+    fn answer(&self, d: &DbSchema, state: &DbState, x: &AttrSet) -> Result<Relation, EngineError> {
         solve_tree_query(d, state, x)
     }
 }
@@ -122,19 +242,10 @@ pub struct FullReducerPlan {
 }
 
 impl FullReducerPlan {
-    /// Compiles the plan for `d`; `None` when `d` is cyclic.
-    fn compile(d: &DbSchema) -> Option<Self> {
-        let red = gyo_reduce(d, &AttrSet::empty());
-        let tree = join_tree_from_trace(d, &red)?;
-        let rooted = if d.is_empty() {
-            RootedTree {
-                root: 0,
-                parent: Vec::new(),
-                post_order: Vec::new(),
-            }
-        } else {
-            tree.rooted_at(0)
-        };
+    /// Compiles the plan for `d`; [`EngineError::Cyclic`] (with the stuck
+    /// residue attached) when `d` is cyclic.
+    fn compile(d: &DbSchema) -> Result<Self, EngineError> {
+        let rooted = derive_rooted_tree(d)?;
         let mut steps = Vec::new();
         if d.len() > 1 {
             let schemas = d.rels();
@@ -150,7 +261,7 @@ impl FullReducerPlan {
             }
         }
         let program = full_reducer_program_on_tree(d, &rooted);
-        Some(Self {
+        Ok(Self {
             rooted,
             steps,
             program,
@@ -185,12 +296,14 @@ impl FullReducerPlan {
 /// step indices refer to relation positions, so two multiset-equal schemas
 /// with different relation orders get distinct plans. Any change to the
 /// schema therefore misses the cache and compiles afresh; stale plans are
-/// unreachable by construction. Cyclic outcomes are cached too, so
-/// repeatedly querying a cyclic schema costs one lookup, not one GYO
-/// reduction per call.
+/// unreachable by construction. Cyclic outcomes are cached too — with the
+/// full [`EngineError`] diagnostic (the stuck residue and its survivor
+/// indices) — so repeatedly querying a cyclic schema costs one lookup, not
+/// one GYO reduction per call, and every repeat reports *which* cycle
+/// blocked it.
 #[derive(Debug, Default)]
 pub struct FullReducerEngine {
-    plans: Mutex<FxHashMap<Vec<AttrSet>, Option<Arc<FullReducerPlan>>>>,
+    plans: Mutex<FxHashMap<Vec<AttrSet>, Result<Arc<FullReducerPlan>, EngineError>>>,
     /// Reusable selection-vector execution state: after the first reduction
     /// at a given shape, program steps run with zero heap allocation (the
     /// `crates/relation/tests/alloc.rs` counter pins this down). Contended
@@ -206,9 +319,10 @@ impl FullReducerEngine {
         Self::default()
     }
 
-    /// The cached plan for `d`, compiling on first sight. `None` when `d`
-    /// is cyclic (this negative outcome is cached as well).
-    pub fn plan(&self, d: &DbSchema) -> Option<Arc<FullReducerPlan>> {
+    /// The cached plan for `d`, compiling on first sight.
+    /// [`EngineError::Cyclic`] when `d` is cyclic — this negative outcome
+    /// is cached as well, diagnostic included.
+    pub fn plan(&self, d: &DbSchema) -> Result<Arc<FullReducerPlan>, EngineError> {
         if let Some(cached) = self.plans.lock().expect("plan cache lock").get(d.rels()) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
@@ -244,15 +358,49 @@ impl FullReducerEngine {
         )
     }
 
-    fn reduce_with_plan(&self, d: &DbSchema, state: &DbState, plan: &FullReducerPlan) -> DbState {
-        let mut rels = state.rels().to_vec();
+    /// Runs a compiled semijoin program over `rels` through the engine's
+    /// reusable selection-vector scratch (falling back to a per-call
+    /// scratch under contention). Shared by the full-reducer path and the
+    /// treeify engine's extended-schema path.
+    pub(crate) fn run_steps(&self, rels: &mut [Relation], steps: &[SemijoinStep]) {
         match self.scratch.try_lock() {
-            Ok(mut scratch) => semijoin_program_with(&mut rels, plan.steps(), &mut scratch),
+            Ok(mut scratch) => semijoin_program_with(rels, steps, &mut scratch),
             // Another thread is mid-reduction on this engine: run with a
             // fresh scratch instead of serializing behind the lock.
-            Err(_) => semijoin_program_with(&mut rels, plan.steps(), &mut ExecScratch::new()),
+            Err(_) => semijoin_program_with(rels, steps, &mut ExecScratch::new()),
         }
+    }
+
+    pub(crate) fn reduce_with_plan(
+        &self,
+        d: &DbSchema,
+        state: &DbState,
+        plan: &FullReducerPlan,
+    ) -> DbState {
+        let mut rels = state.rels().to_vec();
+        self.run_steps(&mut rels, plan.steps());
         DbState::new(d, rels)
+    }
+
+    /// The full answer pipeline over an already-compiled plan: reduce, then
+    /// join up the tree with early projection. Shared by
+    /// [`Engine::answer`] and the treeify engine's delegation path.
+    pub(crate) fn answer_with_plan(
+        &self,
+        d: &DbSchema,
+        state: &DbState,
+        x: &AttrSet,
+        plan: &FullReducerPlan,
+    ) -> Relation {
+        if d.is_empty() {
+            return if x.is_empty() {
+                Relation::identity()
+            } else {
+                Relation::empty(x.clone())
+            };
+        }
+        let reduced = self.reduce_with_plan(d, state, plan);
+        join_up_tree(d, &reduced, x, plan.rooted())
     }
 }
 
@@ -261,35 +409,29 @@ impl Engine for FullReducerEngine {
         "full_reducer_cached"
     }
 
-    fn reduce(&self, d: &DbSchema, state: &DbState) -> Option<DbState> {
+    fn reduce(&self, d: &DbSchema, state: &DbState) -> Result<DbState, EngineError> {
         let plan = self.plan(d)?;
-        Some(self.reduce_with_plan(d, state, &plan))
+        Ok(self.reduce_with_plan(d, state, &plan))
     }
 
-    fn answer(&self, d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Relation> {
+    fn answer(&self, d: &DbSchema, state: &DbState, x: &AttrSet) -> Result<Relation, EngineError> {
         assert!(
             x.is_subset(&d.attributes()),
             "target X must be a subset of U(D)"
         );
         let plan = self.plan(d)?;
-        if d.is_empty() {
-            return Some(if x.is_empty() {
-                Relation::identity()
-            } else {
-                Relation::empty(x.clone())
-            });
-        }
-        let reduced = self.reduce_with_plan(d, state, &plan);
-        Some(join_up_tree(d, &reduced, x, plan.rooted()))
+        Ok(self.answer_with_plan(d, state, x, &plan))
     }
 }
 
-/// The three standard engines, boxed for differential harnesses.
+/// The four standard engines, boxed for differential harnesses: the three
+/// tree-path strategies plus the treeification-backed total engine.
 pub fn standard_engines() -> Vec<Box<dyn Engine + Send + Sync>> {
     vec![
         Box::new(NaiveEngine),
         Box::new(IncrementalEngine),
         Box::new(FullReducerEngine::new()),
+        Box::new(crate::TreeifyEngine::new()),
     ]
 }
 
@@ -333,19 +475,36 @@ mod tests {
     }
 
     #[test]
-    fn semijoin_engines_decline_cyclic_schemas() {
+    fn semijoin_engines_decline_cyclic_schemas_with_diagnostics() {
         let mut cat = Catalog::alphabetic();
         let d = db("ab, bc, ca", &mut cat);
         let state = random_state(&d, 7, 10, 3);
         let x = AttrSet::parse("ab", &mut cat).unwrap();
-        assert!(IncrementalEngine.reduce(&d, &state).is_none());
+        let err = IncrementalEngine.reduce(&d, &state).unwrap_err();
+        // The triangle is its own residue: nothing reduces.
+        assert_eq!(err.residue(), &d);
+        assert_eq!(err.survivors(), &[0, 1, 2]);
         let cached = FullReducerEngine::new();
-        assert!(cached.reduce(&d, &state).is_none());
-        assert!(cached.answer(&d, &state, &x).is_none());
-        assert!(
-            NaiveEngine.reduce(&d, &state).is_some(),
-            "naive always works"
+        assert_eq!(cached.reduce(&d, &state).unwrap_err(), err);
+        assert_eq!(cached.answer(&d, &state, &x).unwrap_err(), err);
+        assert!(NaiveEngine.reduce(&d, &state).is_ok(), "naive always works");
+        assert_eq!(
+            err.display_with(&cat),
+            "schema is cyclic: GYO stuck on R0, R1, R2 with residue (ab, bc, ac)"
         );
+    }
+
+    #[test]
+    fn cyclic_diagnostic_names_only_the_stuck_core() {
+        // Ring with pendants: GYO strips the pendants; the error must point
+        // at the surviving ring, not the whole schema.
+        let mut cat = Catalog::alphabetic();
+        let d = db("ab, bc, cd, da, ax, cy", &mut cat);
+        let state = random_state(&d, 8, 5, 3);
+        let err = FullReducerEngine::new().reduce(&d, &state).unwrap_err();
+        assert_eq!(err.survivors(), &[0, 1, 2, 3], "only the ring survives");
+        assert_eq!(err.residue().to_notation(&cat), "(ab, bc, cd, ad)");
+        assert!(err.to_string().contains("4 residue relation(s)"));
     }
 
     #[test]
@@ -354,10 +513,10 @@ mod tests {
         let d = db("ab, bc, cd", &mut cat);
         let e = FullReducerEngine::new();
         assert_eq!(e.cache_stats(), (0, 0));
-        assert!(e.plan(&d).is_some());
+        assert!(e.plan(&d).is_ok());
         assert_eq!(e.cache_stats(), (0, 1), "first sight compiles");
-        assert!(e.plan(&d).is_some());
-        assert!(e.plan(&d.clone()).is_some());
+        assert!(e.plan(&d).is_ok());
+        assert!(e.plan(&d.clone()).is_ok());
         assert_eq!(e.cache_stats(), (2, 1), "repeats hit");
         assert_eq!(e.cached_plan_count(), 1);
     }
@@ -367,8 +526,10 @@ mod tests {
         let mut cat = Catalog::alphabetic();
         let d = db("ab, bc, ca", &mut cat);
         let e = FullReducerEngine::new();
-        assert!(e.plan(&d).is_none());
-        assert!(e.plan(&d).is_none());
+        let first = e.plan(&d).unwrap_err();
+        let second = e.plan(&d).unwrap_err();
+        assert_eq!(first, second, "cached verdicts keep the diagnostic");
+        assert_eq!(first.residue(), &d, "the triangle is its own residue");
         assert_eq!(e.cache_stats(), (1, 1));
         assert_eq!(e.cached_plan_count(), 1);
     }
@@ -378,15 +539,15 @@ mod tests {
         let mut cat = Catalog::alphabetic();
         let d = db("ab, bc", &mut cat);
         let e = FullReducerEngine::new();
-        assert!(e.plan(&d).is_some());
+        assert!(e.plan(&d).is_ok());
         let mut grown = d.clone();
         grown.push(AttrSet::parse("cd", &mut cat).unwrap());
-        assert!(e.plan(&grown).is_some());
+        assert!(e.plan(&grown).is_ok());
         assert_eq!(e.cache_stats(), (0, 2), "changed schema compiles afresh");
         assert_eq!(e.cached_plan_count(), 2);
         e.clear_cache();
         assert_eq!(e.cached_plan_count(), 0);
-        assert!(e.plan(&d).is_some());
+        assert!(e.plan(&d).is_ok());
         assert_eq!(e.cache_stats(), (0, 3), "cleared cache recompiles");
     }
 
@@ -400,8 +561,8 @@ mod tests {
         let d2 = db("cd, bc, ab", &mut cat);
         assert!(d1 == d2, "precondition: multiset-equal");
         let e = FullReducerEngine::new();
-        assert!(e.plan(&d1).is_some());
-        assert!(e.plan(&d2).is_some());
+        assert!(e.plan(&d1).is_ok());
+        assert!(e.plan(&d2).is_ok());
         assert_eq!(
             e.cache_stats(),
             (0, 2),
@@ -451,8 +612,11 @@ mod tests {
     }
 
     #[test]
-    fn standard_engines_cover_the_three_paths() {
+    fn standard_engines_cover_the_four_paths() {
         let names: Vec<&str> = standard_engines().iter().map(|e| e.name()).collect();
-        assert_eq!(names, ["naive", "incremental", "full_reducer_cached"]);
+        assert_eq!(
+            names,
+            ["naive", "incremental", "full_reducer_cached", "treeify"]
+        );
     }
 }

@@ -15,9 +15,14 @@
 //!   "tree case" alludes to (semijoin programs à la Bernstein–Chiu);
 //! * [`engine`] — the [`Engine`] trait over the naive, per-call-Yannakakis,
 //!   and cached full-reducer evaluation strategies, with a schema-keyed
-//!   plan cache ([`FullReducerEngine`]);
+//!   plan cache ([`FullReducerEngine`]) and the [`EngineError`] cyclicity
+//!   diagnostic every decline path carries;
 //! * [`treeify`] — §4's strategy for cyclic schemas: materialize
 //!   `U(GR(D))` (Corollary 3.2), then solve on the resulting tree schema;
+//! * [`treeify_engine`] — the cached, **total** version of that strategy:
+//!   [`TreeifyEngine`] answers every schema, delegating tree schemas to
+//!   the full-reducer engine and running cyclic ones over a cached
+//!   [`TreeifyPlan`];
 //! * [`tp_solve`] — the Theorem 6.1/6.2 construction: augment a program
 //!   holding a tree projection with ≤ 2·|D″| semijoins to solve `(D, X)`.
 
@@ -31,12 +36,14 @@ pub mod program;
 pub mod query;
 pub mod tp_solve;
 pub mod treeify;
+pub mod treeify_engine;
 pub mod ujr;
 pub mod ur_transform;
 pub mod yannakakis;
 
 pub use engine::{
-    standard_engines, Engine, FullReducerEngine, FullReducerPlan, IncrementalEngine, NaiveEngine,
+    standard_engines, Engine, EngineError, FullReducerEngine, FullReducerPlan, IncrementalEngine,
+    NaiveEngine,
 };
 pub use equiv::{
     joins_only_solvable, prune_irrelevant, weakly_contained_semantic, weakly_equivalent,
@@ -47,7 +54,8 @@ pub use optimize::{eliminate_dead_statements, Slimmed};
 pub use program::{Program, RelRef, Statement, StatementStats};
 pub use query::JoinQuery;
 pub use tp_solve::solve_with_tree_projection;
-pub use treeify::solve_via_treeification;
+pub use treeify::{reduce_via_treeification, solve_via_treeification};
+pub use treeify_engine::{TreeifyEngine, TreeifyPlan};
 pub use ujr::{check_ujr, is_ujr, minimum_qual_graphs, UjrViolation};
 pub use ur_transform::{is_ur_state, to_ur_state};
 pub use yannakakis::{full_reduce, full_reducer_program, solve_tree_query};

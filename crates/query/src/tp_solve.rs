@@ -14,6 +14,47 @@
 //! `CC(D, X)` rather than `D` itself is the UR-specific strengthening);
 //! the tests validate against naive evaluation on random UR states and on
 //! frozen canonical instances.
+//!
+//! Where [`crate::treeify`] adds the *one* canonical relation `U(GR(D))`,
+//! this module is the general form: **any** program whose materialized
+//! schema hosts a tree projection solves the query — treeification is the
+//! special case where the program joins the whole GYO residue into one
+//! relation.
+//!
+//! # Examples
+//!
+//! Triangulating the 4-ring with two partial joins, then solving `(D, ac)`
+//! through the tree projection the triangles host:
+//!
+//! ```
+//! use gyo_schema::{AttrSet, Catalog, DbSchema};
+//! use gyo_relation::{DbState, Relation};
+//! use gyo_query::{solve_with_tree_projection, Program};
+//! use gyo_tableau::canonical_connection;
+//! use gyo_treeproj::find_tree_projection;
+//!
+//! let mut cat = Catalog::alphabetic();
+//! let d = DbSchema::parse("ab, bc, cd, da", &mut cat).unwrap();
+//! let x = AttrSet::parse("ac", &mut cat).unwrap();
+//!
+//! // P = { abc := ab ⋈ bc;  acd := cd ⋈ da } — the two triangles.
+//! let mut p = Program::new(d.clone());
+//! p.join(0, 1);
+//! p.join(2, 3);
+//! let goal = canonical_connection(&d, &x).with_rel(x.clone());
+//! let tp = find_tree_projection(&p.p_of_d(), &goal, 2, 1_000_000)
+//!     .expect("the two triangles triangulate the ring");
+//!
+//! let i = Relation::new(
+//!     d.attributes(),
+//!     vec![vec![1, 1, 1, 1], vec![1, 2, 1, 2], vec![2, 2, 2, 2]],
+//! );
+//! let state = DbState::from_universal(&i, &d);
+//! assert_eq!(
+//!     solve_with_tree_projection(&p, &tp, &state, &x),
+//!     state.eval_join_query(&x),
+//! );
+//! ```
 
 use gyo_relation::{DbState, Relation};
 use gyo_schema::AttrSet;

@@ -8,12 +8,54 @@
 //! GYO survivors (the "cyclic core") and projecting onto `W` — the
 //! expensive step that cyclicity forces; everything after is linear
 //! semijoin processing.
+//!
+//! The functions here — [`solve_via_treeification`] for answers,
+//! [`reduce_via_treeification`] for full reductions — are deliberately
+//! **per-call**: every invocation re-runs the GYO reduction, re-derives
+//! the extended schema's join tree, and re-materializes each semijoin.
+//! They are the reference implementations (and benchmark foils) for
+//! [`TreeifyEngine`](crate::TreeifyEngine), which compiles all of the
+//! data-independent work into a cached [`TreeifyPlan`](crate::TreeifyPlan)
+//! once per schema; the `classify/engines/treeify_*` bench family measures
+//! what the cache buys.
+//!
+//! # Examples
+//!
+//! The 4-ring is cyclic, yet treeification answers it exactly:
+//!
+//! ```
+//! use gyo_schema::{AttrSet, Catalog, DbSchema};
+//! use gyo_relation::{DbState, Relation};
+//! use gyo_query::{reduce_via_treeification, solve_via_treeification};
+//!
+//! let mut cat = Catalog::alphabetic();
+//! let ring = DbSchema::parse("ab, bc, cd, da", &mut cat).unwrap();
+//! let i = Relation::new(
+//!     ring.attributes(),
+//!     vec![vec![1, 1, 1, 1], vec![1, 2, 1, 2], vec![2, 2, 2, 2]],
+//! );
+//! let state = DbState::from_universal(&i, &ring);
+//!
+//! let x = AttrSet::parse("ac", &mut cat).unwrap();
+//! assert_eq!(
+//!     solve_via_treeification(&ring, &state, &x),
+//!     state.eval_join_query(&x),
+//! );
+//!
+//! // Full reduction via the same route: every relation drops to its
+//! // projection of the total join — on any schema, cyclic included.
+//! let reduced = reduce_via_treeification(&ring, &state);
+//! let total = state.join_all();
+//! for (k, r) in ring.iter().enumerate() {
+//!     assert_eq!(reduced.rel(k), &total.project(r));
+//! }
+//! ```
 
 use gyo_reduce::{gyo_reduce, treeifying_relation};
 use gyo_relation::{DbState, Relation};
 use gyo_schema::{AttrSet, DbSchema};
 
-use crate::yannakakis::solve_tree_query;
+use crate::yannakakis::{full_reduce, solve_tree_query};
 
 /// Solves `(D, X)` on a cyclic (or tree) schema via treeification:
 ///
@@ -58,6 +100,42 @@ pub fn solve_via_treeification(d: &DbSchema, state: &DbState, x: &AttrSet) -> Re
         .expect("Theorem 3.2(ii): D ∪ (U(GR(D))) is a tree schema")
 }
 
+/// Fully reduces a state over **any** schema — cyclic included — via
+/// treeification: materialize `state(W)` for `W = U(GR(D))`, full-reduce
+/// the extended tree state `D ∪ (W)`, and drop the `W` slot. The result is
+/// globally consistent (`result[i] = π_{Rᵢ}(⋈ state)` for every `i`), the
+/// same state [`NaiveEngine`](crate::NaiveEngine) reaches by materializing
+/// the monolithic join — because `⋈(D ∪ (W)) = ⋈D` (the added relation is
+/// a projection of a superset of the total join, so it filters nothing).
+///
+/// For tree schemas `W = ∅` and this is plain full reduction. Per-call,
+/// like everything in this module; [`TreeifyEngine`](crate::TreeifyEngine)
+/// is the cached counterpart.
+///
+/// # Panics
+///
+/// Panics if the state does not match `d`.
+pub fn reduce_via_treeification(d: &DbSchema, state: &DbState) -> DbState {
+    let red = gyo_reduce(d, &AttrSet::empty());
+    if red.is_total() {
+        return full_reduce(d, state).expect("total reduction ⟹ tree schema");
+    }
+    let w = red.result.attributes();
+    let mut acc = Relation::identity();
+    for &i in &red.survivors {
+        acc = acc.natural_join(state.rel(i));
+    }
+    let w_state = acc.project(&w);
+
+    let extended_schema = d.with_rel(w.clone());
+    let mut rels: Vec<Relation> = state.rels().to_vec();
+    rels.push(w_state);
+    let extended_state = DbState::new(&extended_schema, rels);
+    let reduced = full_reduce(&extended_schema, &extended_state)
+        .expect("Theorem 3.2(ii): D ∪ (U(GR(D))) is a tree schema");
+    DbState::new(d, reduced.rels()[..d.len()].to_vec())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +178,29 @@ mod tests {
                 state.eval_join_query(&x),
                 "round {round}"
             );
+        }
+    }
+
+    #[test]
+    fn reduce_via_treeification_reaches_global_consistency() {
+        let mut cat = Catalog::alphabetic();
+        let mut rng = StdRng::seed_from_u64(45);
+        for s in ["ab, bc, ca", "ab, bc, cd, da", "ab, bc, cd, da, ax, cy"] {
+            let d = db(s, &mut cat);
+            for round in 0..4 {
+                let i = gyo_workloads::random_universal(&mut rng, &d.attributes(), 25, 3);
+                let state = DbState::from_universal(&i, &d);
+                let reduced = reduce_via_treeification(&d, &state);
+                let total = state.join_all();
+                for (k, r) in d.iter().enumerate() {
+                    let expected = if total.is_empty() {
+                        Relation::empty(r.clone())
+                    } else {
+                        total.project(r)
+                    };
+                    assert_eq!(reduced.rel(k), &expected, "{s} round {round} node {k}");
+                }
+            }
         }
     }
 

@@ -7,10 +7,47 @@
 //! reducer produces the largest UR sub-state: after global consistency,
 //! every relation equals the projection of the states' own join, i.e. the
 //! state *is* `{π_R(I) | R ∈ D}` for `I = ⋈ D`.
+//!
+//! For cyclic schemas semijoins provably cannot do this (the parity
+//! instance in this module's tests is pairwise consistent yet globally
+//! empty), so [`to_ur_state`] returns the
+//! [`EngineError::Cyclic`](crate::EngineError) diagnostic; the
+//! treeification route ([`crate::TreeifyEngine`],
+//! [`crate::reduce_via_treeification`]) reaches the same largest UR
+//! sub-state on any schema by paying one core join.
+//!
+//! # Examples
+//!
+//! ```
+//! use gyo_schema::{Catalog, DbSchema};
+//! use gyo_relation::{DbState, Relation};
+//! use gyo_query::{is_ur_state, to_ur_state};
+//!
+//! let mut cat = Catalog::alphabetic();
+//! let d = DbSchema::parse("ab, bc", &mut cat).unwrap();
+//! // The tuple (5, 6) in ab dangles: no bc tuple joins it.
+//! let ab = Relation::new(d.rel(0).clone(), vec![vec![1, 2], vec![5, 6]]);
+//! let bc = Relation::new(d.rel(1).clone(), vec![vec![2, 3]]);
+//! let state = DbState::new(&d, vec![ab, bc]);
+//! assert!(!is_ur_state(&d, &state));
+//!
+//! let fixed = to_ur_state(&d, &state).expect("chains are tree schemas");
+//! assert!(is_ur_state(&d, &fixed));
+//! assert_eq!(fixed.rel(0).len(), 1, "the dangling tuple is gone");
+//!
+//! // Cyclic schemas decline, naming the stuck residue.
+//! let ring = DbSchema::parse("ab, bc, ca", &mut cat).unwrap();
+//! let rstate = DbState::new(&ring, ring.iter()
+//!     .map(|r| Relation::empty(r.clone()))
+//!     .collect());
+//! let err = to_ur_state(&ring, &rstate).unwrap_err();
+//! assert_eq!(err.residue(), &ring);
+//! ```
 
 use gyo_relation::DbState;
 use gyo_schema::DbSchema;
 
+use crate::engine::EngineError;
 use crate::yannakakis::full_reduce;
 
 /// Whether the state is a UR database state: every relation equals the
@@ -27,12 +64,15 @@ pub fn is_ur_state(d: &DbSchema, state: &DbState) -> bool {
 
 /// §4's transformation for tree schemas: semijoin-reduce the state into a
 /// UR database state (the largest UR sub-state — only dangling tuples are
-/// removed, the join is unchanged). Returns `None` for cyclic schemas,
-/// where semijoins alone cannot achieve this.
-pub fn to_ur_state(d: &DbSchema, state: &DbState) -> Option<DbState> {
+/// removed, the join is unchanged). Returns [`EngineError::Cyclic`] for
+/// cyclic schemas, where semijoins alone cannot achieve this (see the
+/// parity instance in this module's tests); the error names the stuck GYO
+/// residue. [`crate::TreeifyEngine`] reaches the same largest UR sub-state
+/// on *any* schema by paying one core join.
+pub fn to_ur_state(d: &DbSchema, state: &DbState) -> Result<DbState, EngineError> {
     let reduced = full_reduce(d, state)?;
     debug_assert!(is_ur_state(d, &reduced), "full reduction must yield UR");
-    Some(reduced)
+    Ok(reduced)
 }
 
 #[cfg(test)]
@@ -97,7 +137,8 @@ mod tests {
                 Relation::new(ca, vec![vec![0, 1], vec![1, 0]]),
             ],
         );
-        assert!(to_ur_state(&d, &state).is_none());
+        let err = to_ur_state(&d, &state).unwrap_err();
+        assert_eq!(err.residue(), &d, "the triangle is its own residue");
         assert!(!is_ur_state(&d, &state), "empty join, nonempty relations");
         assert!(state.join_all().is_empty());
         // pairwise consistency: every semijoin is a no-op

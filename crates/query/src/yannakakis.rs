@@ -19,23 +19,44 @@ use gyo_reduce::{gyo_reduce, join_tree_from_trace};
 use gyo_relation::{DbState, Relation};
 use gyo_schema::{AttrSet, DbSchema, JoinTree, RootedTree};
 
+use crate::engine::EngineError;
 use crate::program::Program;
 
 /// Builds a full-reducer semijoin [`Program`] for a tree schema: child→
 /// parent semijoins in post-order, then parent→child in reverse. Returns
-/// `None` when `d` is cyclic (no join tree exists).
+/// [`EngineError::Cyclic`] when `d` is cyclic (no join tree exists), with
+/// the stuck GYO residue attached.
 ///
 /// Note: semijoin statements create *new* relations (§6 semantics), so the
 /// program threads the latest version of each node through the passes; the
 /// final statements leave the root's and every node's reduced state as the
 /// most recent versions.
-pub fn full_reducer_program(d: &DbSchema) -> Option<Program> {
-    let red = gyo_reduce(d, &AttrSet::empty());
-    let tree = join_tree_from_trace(d, &red)?;
+pub fn full_reducer_program(d: &DbSchema) -> Result<Program, EngineError> {
+    let rooted = derive_rooted_tree(d)?;
     if d.len() <= 1 {
-        return Some(Program::new(d.clone()));
+        return Ok(Program::new(d.clone()));
     }
-    Some(full_reducer_program_on_tree(d, &tree.rooted_at(0)))
+    Ok(full_reducer_program_on_tree(d, &rooted))
+}
+
+/// Runs the GYO reduction and roots the derived join tree at node 0; the
+/// shared decline path of every tree-only entry point — per-call solvers
+/// here and [`FullReducerPlan`](crate::FullReducerPlan) compilation alike.
+pub(crate) fn derive_rooted_tree(d: &DbSchema) -> Result<RootedTree, EngineError> {
+    let red = gyo_reduce(d, &AttrSet::empty());
+    if !red.is_total() {
+        return Err(EngineError::cyclic(&red));
+    }
+    let tree = join_tree_from_trace(d, &red).expect("total GYO reduction yields a join tree");
+    Ok(if d.is_empty() {
+        RootedTree {
+            root: 0,
+            parent: Vec::new(),
+            post_order: Vec::new(),
+        }
+    } else {
+        tree.rooted_at(0)
+    })
 }
 
 /// The full-reducer [`Program`] along an already-rooted join tree.
@@ -64,18 +85,25 @@ pub(crate) fn full_reducer_program_on_tree(d: &DbSchema, rooted: &RootedTree) ->
 
 /// Fully reduces a state over a tree schema in place-ish (returns the
 /// reduced state): after this, `state[i] = π_{Rᵢ}(⋈ D)` for every `i`.
-/// Returns `None` when `d` is cyclic.
-pub fn full_reduce(d: &DbSchema, state: &DbState) -> Option<DbState> {
-    let red = gyo_reduce(d, &AttrSet::empty());
-    let tree = join_tree_from_trace(d, &red)?;
-    Some(full_reduce_on_tree(d, state, &tree))
+/// Returns [`EngineError::Cyclic`] when `d` is cyclic.
+pub fn full_reduce(d: &DbSchema, state: &DbState) -> Result<DbState, EngineError> {
+    let rooted = derive_rooted_tree(d)?;
+    Ok(full_reduce_on_rooted(d, state, &rooted))
 }
 
 /// Full reduction along a given join tree.
 pub fn full_reduce_on_tree(d: &DbSchema, state: &DbState, tree: &JoinTree) -> DbState {
+    if d.len() > 1 {
+        full_reduce_on_rooted(d, state, &tree.rooted_at(0))
+    } else {
+        DbState::new(d, state.rels().to_vec())
+    }
+}
+
+/// Full reduction along an already-rooted join tree.
+fn full_reduce_on_rooted(d: &DbSchema, state: &DbState, rooted: &RootedTree) -> DbState {
     let mut rels: Vec<Relation> = state.rels().to_vec();
     if d.len() > 1 {
-        let rooted = tree.rooted_at(0);
         for &v in &rooted.post_order {
             if v != rooted.root {
                 let parent = rooted.parent[v];
@@ -94,28 +122,31 @@ pub fn full_reduce_on_tree(d: &DbSchema, state: &DbState, tree: &JoinTree) -> Db
 
 /// Solves `(D, X)` on a tree schema: full reduction, then joins up the tree
 /// with early projection onto `X ∪ (attributes shared with the not-yet-
-/// joined part)`. Output-sensitive in the Yannakakis sense. Returns `None`
-/// when `d` is cyclic.
+/// joined part)`. Output-sensitive in the Yannakakis sense. Returns
+/// [`EngineError::Cyclic`] when `d` is cyclic.
 ///
 /// # Panics
 ///
 /// Panics if `X ⊄ U(D)`.
-pub fn solve_tree_query(d: &DbSchema, state: &DbState, x: &AttrSet) -> Option<Relation> {
+pub fn solve_tree_query(
+    d: &DbSchema,
+    state: &DbState,
+    x: &AttrSet,
+) -> Result<Relation, EngineError> {
     assert!(
         x.is_subset(&d.attributes()),
         "target X must be a subset of U(D)"
     );
-    let red = gyo_reduce(d, &AttrSet::empty());
-    let tree = join_tree_from_trace(d, &red)?;
+    let rooted = derive_rooted_tree(d)?;
     if d.is_empty() {
-        return Some(if x.is_empty() {
+        return Ok(if x.is_empty() {
             Relation::identity()
         } else {
             Relation::empty(x.clone())
         });
     }
-    let reduced = full_reduce_on_tree(d, state, &tree);
-    Some(join_up_tree(d, &reduced, x, &tree.rooted_at(0)))
+    let reduced = full_reduce_on_rooted(d, state, &rooted);
+    Ok(join_up_tree(d, &reduced, x, &rooted))
 }
 
 /// The join phase of the Yannakakis solver: joins a **fully reduced** state
@@ -185,7 +216,7 @@ mod tests {
     #[test]
     fn cyclic_schema_has_no_full_reducer() {
         let mut cat = Catalog::alphabetic();
-        assert!(full_reducer_program(&db("ab, bc, ca", &mut cat)).is_none());
+        assert!(full_reducer_program(&db("ab, bc, ca", &mut cat)).is_err());
         assert!(full_reduce(
             &db("ab, bc, ca", &mut cat),
             &DbState::from_universal(
@@ -193,7 +224,7 @@ mod tests {
                 &db("ab, bc, ca", &mut cat)
             )
         )
-        .is_none());
+        .is_err());
     }
 
     #[test]

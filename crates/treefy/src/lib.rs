@@ -22,6 +22,18 @@
 //! the *shape* the theorem predicts — the exact generic solver blows up
 //! exponentially while the structured instances reduce to (still NP-hard
 //! but tiny) bin packing.
+//!
+//! **Relation to `gyo_query`'s treeification modules**: this crate is
+//! about the *decision problem* (can a budget of small added relations
+//! treeify `D`?) and its hardness. The always-available, budget-free
+//! construction — add the single relation `U(GR(D))` of Corollary 3.2 and
+//! execute queries over the resulting tree schema — lives in `gyo_query`
+//! as `solve_via_treeification` / `reduce_via_treeification` (per call)
+//! and `TreeifyEngine` (cached plans, total over all schemas). When the
+//! Theorem 4.2 budget `(K, B)` admits a solution with `B < |U(GR(D))|`,
+//! the solvers here find *cheaper* treeifications than the canonical one
+//! the engine uses — the engine trades that optimality for a
+//! polynomial-time, cacheable plan.
 
 #![warn(missing_docs)]
 

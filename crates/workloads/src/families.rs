@@ -14,13 +14,15 @@ use gyo_schema::DbSchema;
 use rand::Rng;
 
 use crate::data::{noisy_ur_state, random_universal};
-use crate::schemas::{aring_n, chain, grid, random_tree_schema, star, tpch_like, wide_chain};
+use crate::schemas::{
+    aring_n, chain, grid, random_tree_schema, star, tpch_like, tpch_like_cyclic, wide_chain,
+};
 
 /// A named schema drawn from one of the benchmark families.
 #[derive(Clone, Debug)]
 pub struct FamilySchema {
     /// Family name (`chain`, `star`, `ring`, `grid`, `random_tree`,
-    /// `wide_chain`, `tpch`).
+    /// `wide_chain`, `tpch`, `tpch_cyclic`).
     pub name: &'static str,
     /// The generated schema.
     pub schema: DbSchema,
@@ -30,9 +32,11 @@ pub struct FamilySchema {
 /// chains, stars, rings, grids, random trees, plus the two **wide-arity**
 /// tree families — arity-6 wide chains (width-3 semijoin keys, driving the
 /// wide-key kernels) and the TPC-H-like snowflake (arity 4–6, fact-table
-/// fan-out). Rings and (non-degenerate) grids are cyclic — exactly the
-/// schemas the semijoin engines must *decline* while the naive engine
-/// still answers.
+/// fan-out) — and the snowflake's cyclic closure (`tpch_cyclic`), whose
+/// GYO residue is a strict sub-cycle of the schema. Rings, non-degenerate
+/// grids, and `tpch_cyclic` are cyclic — exactly the schemas the semijoin
+/// engines must *decline* (with a residue diagnostic) while the naive and
+/// treeify engines still answer.
 pub fn engine_families<R: Rng + ?Sized>(rng: &mut R, scale: usize) -> Vec<FamilySchema> {
     let scale = scale.max(3);
     // Side length so the grid has about `scale` edge relations.
@@ -67,6 +71,10 @@ pub fn engine_families<R: Rng + ?Sized>(rng: &mut R, scale: usize) -> Vec<Family
         FamilySchema {
             name: "tpch",
             schema: tpch_like(),
+        },
+        FamilySchema {
+            name: "tpch_cyclic",
+            schema: tpch_like_cyclic(),
         },
     ]
 }
@@ -106,11 +114,12 @@ mod tests {
                 "grid",
                 "random_tree",
                 "wide_chain",
-                "tpch"
+                "tpch",
+                "tpch_cyclic"
             ]
         );
         let kinds: Vec<bool> = fams.iter().map(|f| is_tree_schema(&f.schema)).collect();
-        assert_eq!(kinds, [true, true, false, false, true, true, true]);
+        assert_eq!(kinds, [true, true, false, false, true, true, true, false]);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //!   **wide-arity** tree families [`wide_chain`] (arity/overlap
 //!   parameterized — the overlap is the semijoin key width, so `overlap ≥ 3`
 //!   exercises the wide-key kernels) and [`tpch_like`] (a TPC-H-style
-//!   acyclic snowflake of arity-4…6 relations);
+//!   acyclic snowflake of arity-4…6 relations) plus its cyclic closure
+//!   [`tpch_like_cyclic`] (one bridge relation closes the
+//!   customer↔supplier cycle; the GYO residue — and hence the treeifying
+//!   relation `W` — is a strict subset of the schema);
 //! * randomized generators — [`random_tree_schema`] (guaranteed tree
 //!   schemas, built around a random qual tree), [`random_schema`]
 //!   (unconstrained hypergraphs), [`random_cyclic_schema`];
@@ -32,5 +35,6 @@ pub use data::{jd_closed_universal, noisy_ur_state, random_universal, ur_state};
 pub use families::{engine_families, family_state, FamilySchema};
 pub use schemas::{
     aclique_n, aring_n, caterpillar, chain, grid, numbered_catalog, random_cyclic_schema,
-    random_schema, random_tree_schema, ring_of_cliques, star, tpch_like, wide_chain,
+    random_schema, random_tree_schema, ring_of_cliques, star, tpch_like, tpch_like_cyclic,
+    wide_chain,
 };

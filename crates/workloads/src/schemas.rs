@@ -266,6 +266,22 @@ pub fn tpch_like() -> DbSchema {
     ])
 }
 
+/// The **cyclic** variant of [`tpch_like`]: one extra binary relation
+/// sharing the customer and supplier nation attributes, closing the
+/// classic customer↔supplier cycle the two-nation split of [`tpch_like`]
+/// exists to avoid. The GYO residue is the cycle through
+/// lineitem–orders–customer–nation-bridge–supplier, while part, partsupp,
+/// and the two nation dimensions reduce away — a cyclic schema whose
+/// treeifying relation `W` is a *strict subset* of `U(D)`, unlike rings
+/// and grids where `W` spans every attribute.
+pub fn tpch_like_cyclic() -> DbSchema {
+    let mut d = tpch_like();
+    // nation_bridge(c_nation, s_nation): customers and suppliers now share
+    // nation info, closing the cycle.
+    d.push(AttrSet::from_raw(&[4, 5]));
+    d
+}
+
 /// A "caterpillar" tree schema: a spine chain of `spine` relations, each
 /// carrying `legs` pendant relations — the worst case for naive subset
 /// scans, the friendly case for the incremental GYO engine.
@@ -429,9 +445,25 @@ mod tests {
         // Closing the customer↔supplier cycle through one shared nation
         // attribute must flip the classification — the schema is acyclic
         // *because* the dimensions are split.
-        let mut closed = d.clone();
-        closed.push(AttrSet::from_raw(&[4, 5]));
-        assert_eq!(classify(&closed), SchemaKind::Cyclic);
+        assert_eq!(classify(&tpch_like_cyclic()), SchemaKind::Cyclic);
+    }
+
+    #[test]
+    fn tpch_like_cyclic_residue_is_the_customer_supplier_cycle() {
+        use gyo_reduce::gyo_reduce;
+        let d = tpch_like_cyclic();
+        let red = gyo_reduce(&d, &gyo_schema::AttrSet::empty());
+        assert!(!red.is_total());
+        // The cycle: lineitem(0), orders(1), customer(2), supplier(4), and
+        // the closing bridge (8). Part/partsupp/nations reduce away.
+        assert_eq!(red.survivors, vec![0, 1, 2, 4, 8]);
+        // W is a strict subset of U(D): only the join keys on the cycle.
+        let w = red.result.attributes();
+        assert!(w.len() < d.attributes().len());
+        for a in [0u32, 1, 3, 4, 5] {
+            assert!(w.contains(gyo_schema::AttrId(a)), "cycle key {a} in W");
+        }
+        assert!(!w.contains(gyo_schema::AttrId(2)), "partkey reduced away");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Verify that every relative link/path reference in the given markdown files
+# points at something that exists in the repository.
+#
+# Checks two classes of reference:
+#   1. markdown links  [text](path)      — external URLs and #anchors skipped
+#   2. backtick paths  `crates/...`, `docs/...`, `scripts/...`, `tests/...`,
+#      `shims/...`, `examples/...`, `src/...` — the path prefixes this repo
+#      uses when naming files in prose (an optional trailing :line or
+#      in-path anchor is stripped)
+#
+# Usage: scripts/check_doc_links.sh [FILE...]   (default: docs/ARCHITECTURE.md README.md)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(docs/ARCHITECTURE.md README.md)
+fi
+
+fail=0
+# check SRC REF BASEDIR — BASEDIR is what relative REFs resolve against
+# (the containing file's directory for markdown links, the repo root for
+# backtick paths).
+check() {
+  local src="$1" ref="$2" base="$3"
+  # strip anchors (#section) and :line suffixes
+  local path="${ref%%#*}"
+  path="${path%:*([0-9])}"
+  [ -z "$path" ] && return 0
+  if [ ! -e "$base/$path" ]; then
+    echo "BROKEN: $src -> $ref"
+    fail=1
+  fi
+}
+shopt -s extglob
+
+for f in "${files[@]}"; do
+  if [ ! -f "$f" ]; then
+    echo "BROKEN: missing input file $f"
+    fail=1
+    continue
+  fi
+  dir="$(dirname "$f")"
+  # 1. markdown links (skip http(s), mailto, and pure anchors)
+  while IFS= read -r ref; do
+    case "$ref" in
+      http://*|https://*|mailto:*|'#'*) ;;
+      *) check "$f" "$ref" "$dir" ;;
+    esac
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+  # 2. backtick-quoted repo paths
+  while IFS= read -r ref; do
+    check "$f" "$ref" "."
+  done < <(grep -oE '`(crates|docs|scripts|tests|shims|examples|src)/[A-Za-z0-9_./:-]+`' "$f" \
+           | tr -d '`')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check failed"
+  exit 1
+fi
+echo "doc links OK (${files[*]})"

@@ -1,26 +1,33 @@
 //! Differential engine suite: the naive, incremental (per-call Yannakakis),
-//! and cached full-reducer engines must produce identical reduced states
-//! and identical query answers on every workload family — chains, stars,
-//! rings, grids, and random trees.
+//! cached full-reducer, and treeification-backed engines must produce
+//! identical reduced states and identical query answers on every workload
+//! family — chains, stars, rings, grids, random trees, and the TPC-H-like
+//! snowflake in both its acyclic and cyclic forms.
 //!
-//! Tree families: all three engines reduce and answer, and must agree with
+//! Tree families: all four engines reduce and answer, and must agree with
 //! the definitional results (`π_{Rᵢ}(⋈ state)` and `π_X(⋈ state)`).
-//! Cyclic families (rings, non-degenerate grids): the semijoin engines must
-//! *decline* (`None`) while the naive engine still answers.
+//! Cyclic families (rings, non-degenerate grids, `tpch_cyclic`): the
+//! semijoin engines must *decline* with an [`EngineError::Cyclic`] whose
+//! residue names the stuck cycle, while the naive AND treeify engines —
+//! the two total ones — still answer, identically. The treeify engine's
+//! per-call reference (`reduce_via_treeification`) is cross-checked on the
+//! same states, so the cached plan and the per-call path are held together
+//! too.
 //!
-//! The cached engine is shared across all cases (and test threads) through
-//! one static instance, so the plan cache is exercised under heavy reuse —
-//! a disagreement caused by a stale or miskeyed plan would surface here.
-//! Case counts honor `PROPTEST_CASES` (CI caps at 32; nightly runs full).
+//! The cached engines are shared across all cases (and test threads)
+//! through static instances, so both plan caches (tree plans and treeified
+//! plans) are exercised under heavy reuse — a disagreement caused by a
+//! stale or miskeyed plan would surface here. Case counts honor
+//! `PROPTEST_CASES` (CI caps at 32; nightly runs full).
 
 use std::sync::OnceLock;
 
 use gyo::{
-    is_tree_schema, AttrSet, DbSchema, DbState, Engine, FullReducerEngine, IncrementalEngine,
-    NaiveEngine,
+    is_tree_schema, reduce_via_treeification, AttrSet, DbSchema, DbState, Engine,
+    FullReducerEngine, IncrementalEngine, NaiveEngine, TreeifyEngine,
 };
 use gyo_workloads::{
-    aring_n, chain, engine_families, family_state, grid, random_tree_schema, star,
+    aring_n, chain, engine_families, family_state, grid, random_tree_schema, star, tpch_like_cyclic,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -31,6 +38,14 @@ use rand::SeedableRng;
 fn cached_engine() -> &'static FullReducerEngine {
     static ENGINE: OnceLock<FullReducerEngine> = OnceLock::new();
     ENGINE.get_or_init(FullReducerEngine::new)
+}
+
+/// One treeify engine for the whole suite, for the same reason — its two
+/// plan caches (tree plans in the shared inner cache, treeified plans for
+/// cyclic schemas) see every schema this suite generates.
+fn treeify_engine() -> &'static TreeifyEngine {
+    static ENGINE: OnceLock<TreeifyEngine> = OnceLock::new();
+    ENGINE.get_or_init(TreeifyEngine::new)
 }
 
 /// A two-attribute target spanning `U(D)` (first and last attribute).
@@ -53,23 +68,34 @@ fn naive_is_tractable(d: &DbSchema) -> bool {
     d.connected_components().len() <= 3
 }
 
-/// The core differential check: reduced states and answers of all three
+/// The core differential check: reduced states and answers of all four
 /// engines on `(d, state, x)`.
 fn check_engines(label: &str, d: &DbSchema, state: &DbState, x: &AttrSet) {
     let naive = NaiveEngine;
     let incremental = IncrementalEngine;
     let cached = cached_engine();
+    let treeify = treeify_engine();
     let tree = is_tree_schema(d);
 
     let n_red = naive.reduce(d, state).expect("naive reduces every schema");
     let i_red = incremental.reduce(d, state);
     let c_red = cached.reduce(d, state);
+    let t_red = treeify
+        .reduce(d, state)
+        .expect("treeify engine is total: every schema reduces");
     assert_eq!(
-        i_red.is_some(),
+        i_red.is_ok(),
         tree,
         "{label}: incremental supports iff tree"
     );
-    assert_eq!(c_red.is_some(), tree, "{label}: cached supports iff tree");
+    assert_eq!(c_red.is_ok(), tree, "{label}: cached supports iff tree");
+    for k in 0..d.len() {
+        assert_eq!(
+            t_red.rel(k),
+            n_red.rel(k),
+            "{label}: treeify node {k} reaches global consistency"
+        );
+    }
     if tree {
         let i_red = i_red.unwrap();
         let c_red = c_red.unwrap();
@@ -85,6 +111,32 @@ fn check_engines(label: &str, d: &DbSchema, state: &DbState, x: &AttrSet) {
                 "{label}: cached node {k} reaches global consistency"
             );
         }
+    } else {
+        // The declines must carry the cyclicity diagnostic: a nonempty
+        // residue whose survivor list is parallel to it, drawn from D's
+        // original indices — and both semijoin engines must agree on it.
+        let i_err = i_red.unwrap_err();
+        let c_err = c_red.unwrap_err();
+        assert_eq!(i_err, c_err, "{label}: engines agree on the diagnostic");
+        assert!(
+            i_err.residue().len() >= 3,
+            "{label}: a cyclic residue has at least 3 relations"
+        );
+        assert_eq!(
+            i_err.survivors().len(),
+            i_err.residue().len(),
+            "{label}: survivors parallel the residue"
+        );
+        assert!(
+            i_err.survivors().iter().all(|&i| i < d.len()),
+            "{label}: survivor indices point into D"
+        );
+        // The per-call treeified reduction agrees with the cached one.
+        let p_red = reduce_via_treeification(d, state);
+        assert_eq!(
+            p_red, t_red,
+            "{label}: per-call treeification matches the cached plan"
+        );
     }
 
     // Ground truth computed definitionally here (join everything, project)
@@ -106,16 +158,19 @@ fn check_engines(label: &str, d: &DbSchema, state: &DbState, x: &AttrSet) {
     );
     let i_ans = incremental.answer(d, state, x);
     let c_ans = cached.answer(d, state, x);
-    assert_eq!(
-        i_ans.is_some(),
-        tree,
-        "{label}: incremental answers iff tree"
-    );
-    assert_eq!(c_ans.is_some(), tree, "{label}: cached answers iff tree");
+    assert_eq!(i_ans.is_ok(), tree, "{label}: incremental answers iff tree");
+    assert_eq!(c_ans.is_ok(), tree, "{label}: cached answers iff tree");
     if tree {
         assert_eq!(i_ans.unwrap(), expected, "{label}: incremental answer");
         assert_eq!(c_ans.unwrap(), expected, "{label}: cached answer");
     }
+    assert_eq!(
+        treeify
+            .answer(d, state, x)
+            .expect("treeify answers everything"),
+        expected,
+        "{label}: treeify answer"
+    );
 }
 
 fn run_family(label: &str, d: &DbSchema, seed: u64, rows: usize, domain: u64, noise: usize) {
@@ -157,6 +212,28 @@ proptest! {
     #[test]
     fn rings_decline_semijoin_engines(n in 3usize..10, rows in 4usize..13, domain in 16u64..32, seed in any::<u64>()) {
         run_family("ring", &aring_n(n), seed, rows, domain, 4);
+    }
+
+    #[test]
+    fn short_dense_rings_agree(n in 3usize..6, rows in 5usize..25, domain in 2u64..5, seed in any::<u64>()) {
+        // Dense cyclic data: the W-join is large relative to the state, so
+        // the treeify engine's core join does real work.
+        run_family("ring_dense", &aring_n(n), seed, rows, domain, 6);
+    }
+
+    #[test]
+    fn dense_grids_agree(rows in 5usize..20, domain in 2u64..4, seed in any::<u64>()) {
+        // The 2×2 grid is the smallest cyclic grid; dense domains make its
+        // unit-square join nontrivial.
+        run_family("grid_dense", &grid(2, 2), seed, rows, domain, 5);
+    }
+
+    #[test]
+    fn tpch_cyclic_agrees(rows in 4usize..13, domain in 4u64..32, seed in any::<u64>()) {
+        // The snowflake's cyclic closure: W is a strict subset of U(D), so
+        // answer targets routinely fall outside W and exercise the
+        // join-up-the-extended-tree path.
+        run_family("tpch_cyclic", &tpch_like_cyclic(), seed, rows, domain, 4);
     }
 
     #[test]
